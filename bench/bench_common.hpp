@@ -1,0 +1,32 @@
+// Shared helpers for the bench binaries: standard header, scenario
+// running, and row formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/lock_registry.hpp"
+#include "runtime/experiment.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rme::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==================================================================\n");
+}
+
+/// Runs and prints a one-line progress note on stderr (tables go to
+/// stdout so they can be piped/captured cleanly).
+inline RunResult Run(const std::string& lock, const WorkloadConfig& cfg,
+                     const Scenario& s) {
+  std::fprintf(stderr, "[run] %-14s n=%-3d %s\n", lock.c_str(), cfg.num_procs,
+               s.Label().c_str());
+  return RunScenario(lock, cfg, s);
+}
+
+}  // namespace rme::bench

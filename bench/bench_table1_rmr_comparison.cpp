@@ -1,0 +1,132 @@
+// Table 1: RMR complexity of every lock in the zoo under the paper's
+// three failure regimes — no failures, F failures, arbitrarily many
+// failures — measured simultaneously under the CC and DSM models.
+//
+// Flags: --n=16 --passages=200 --f=24 --sustained-p=0.003 --seed=42 --csv
+//        --cc-strict (ablation: writer loses its cached copy)
+#include <memory>
+
+#include "bench_common.hpp"
+#include "crash/crash.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+struct PaperRow {
+  const char* lock;
+  const char* none;
+  const char* limited;
+  const char* arbitrary;
+};
+
+const PaperRow kPaperRows[] = {
+    {"mcs", "O(1)", "-", "-"},
+    {"wr", "O(1)", "O(1)*", "O(1)*"},
+    {"gr-adaptive", "O(1)", "O(F)", "unbounded"},
+    {"gr-semi", "O(1)", "O(n)", "O(n)"},
+    {"tournament", "O(log n)", "O(log n)", "O(log n)"},
+    {"ya-tournament", "O(log n)", "O(log n)", "O(log n)"},
+    {"kport-tree", "O(log n/llog n)", "O(log n/llog n)", "O(log n/llog n)"},
+    {"cw-ticket", "O(1)", "O(F)", "unbounded"},
+    {"sa", "O(1)", "O(T(n))", "O(T(n))"},
+    {"ba", "O(1)", "O(sqrt F)", "O(log n/llog n)"},
+    {"ba-iter", "O(1)", "O(sqrt F)", "O(log n/llog n)"},
+    {"ba-tournament", "O(1)", "O(sqrt F)", "O(log n)"},
+};
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.GetInt("n", 16));
+  const uint64_t passages = static_cast<uint64_t>(cli.GetInt("passages", 200));
+  const int64_t f = cli.GetInt("f", 24);
+  const double sustained_p = cli.GetDouble("sustained-p", 0.003);
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  memory_model_config().cc_strict = cli.GetBool("cc-strict", false);
+
+  bench::PrintHeader(
+      "Table 1 — RMR per passage across failure regimes (n=" +
+          std::to_string(n) + ")",
+      "our lock (ba): O(1) / O(sqrt F) / O(log n / log log n); baselines per their rows");
+
+  Table table({"lock", "regime", "paper", "cc mean", "cc p-max", "victim cc",
+               "dsm mean", "failures", "unsafe"});
+
+  for (const PaperRow& row : kPaperRows) {
+    const std::string lock = row.lock;
+    WorkloadConfig cfg;
+    cfg.num_procs = n;
+    cfg.passages_per_proc = passages;
+    cfg.seed = seed;
+    cfg.cs_shared_ops = 8;
+    cfg.cs_yields = 2;
+
+    // Regime 1: no failures (also calibrates the op volume used to space
+    // the F-failures regime's injection evenly across the run).
+    std::fprintf(stderr, "[run] %-14s none\n", lock.c_str());
+    const RunResult r_none = RunScenario(lock, cfg, Scenario::None());
+    auto add = [&](const char* regime, const char* paper, const RunResult& r) {
+      table.AddRow({lock, regime, paper, Table::Num(r.passage.cc.mean()),
+                    Table::Num(r.passage.cc.max(), 0),
+                    r.victim_passage.cc.count() > 0
+                        ? Table::Num(r.victim_passage.cc.mean())
+                        : "-",
+                    Table::Num(r.passage.dsm.mean()),
+                    Table::Int(r.failures), Table::Int(r.unsafe_failures)});
+      if (r.aborted) {
+        std::fprintf(stderr, "WARNING: %s/%s aborted (stall)\n", lock.c_str(),
+                     regime);
+      }
+    };
+    add("none", row.none, r_none);
+    if (lock == "mcs") continue;  // non-recoverable: no crash regimes
+
+    // Regime 2: exactly F failures, evenly spread over the run's ops,
+    // plus FAS-targeted hits so filter-based locks see their sensitive
+    // window (their adversarial placement).
+    const double ops_pp =
+        r_none.passage.ops.count() > 0 ? r_none.passage.ops.mean() : 40.0;
+    const uint64_t total_ops = static_cast<uint64_t>(
+        ops_pp * static_cast<double>(passages) * n);
+    {
+      auto inst = MakeLock(lock, n);
+      SpacedSiteCrash spread(
+          "", std::max<uint64_t>(1, total_ops / (2 * f)), f / 2 + 1);
+      SpacedSiteCrash fas(
+          "fas", std::max<uint64_t>(1, (2 * passages * n) / f), f / 2);
+      CompositeCrash crash({&spread, &fas});
+      std::fprintf(stderr, "[run] %-14s F=%lld\n", lock.c_str(),
+                   static_cast<long long>(f));
+      const RunResult r = RunWorkload(*inst, cfg, &crash);
+      add("F failures", row.limited, r);
+    }
+
+    // Regime 3: sustained random failures for the whole run.
+    std::fprintf(stderr, "[run] %-14s sustained\n", lock.c_str());
+    const RunResult r_sus =
+        RunScenario(lock, cfg, Scenario::Sustained(sustained_p));
+    add("sustained", row.arbitrary, r_sus);
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  if (cli.GetBool("csv", false)) {
+    std::printf("CSV:\n%s\n", table.ToCsv().c_str());
+  }
+  std::printf(
+      "* wr is weakly recoverable: O(1) holds because failures are\n"
+      "  absorbed as temporary ME violations, not extra RMRs.\n"
+      "Reading the table: 'victim cc' is the mean RMR of passages whose\n"
+      "super-passage crashed at least once — per-failure repair bills land\n"
+      "there (the sustained regime's global means are diluted by cheap\n"
+      "restarted attempts). 'cc p-max' is the worst failure-free passage:\n"
+      "the boundedness signal. As in the paper's Table 1 daggers, the\n"
+      "gr-adaptive/gr-semi rows claim CC only — their owner-gate and epoch\n"
+      "spins are remote under DSM, which the dsm column makes visible.\n");
+  return 0;
+}
+
+}  // namespace rme
+
+int main(int argc, char** argv) { return rme::BenchMain(argc, argv); }

@@ -1,0 +1,183 @@
+// Table 2: empirical classification of every lock against the paper's
+// performance measures —
+//   PM1 constantness   (failure-free RMR is O(1) in n),
+//   PM2 adaptiveness   (RMR growth as a function of recent failures F),
+//   PM3 boundedness    (RMR under sustained failures as a function of n).
+// Growth classes come from log-log least-squares fits over sweeps.
+//
+// Flags: --passages=150 --seed=42 --csv
+#include <algorithm>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "crash/crash.hpp"
+
+namespace rme {
+namespace {
+
+struct Verdicts {
+  std::string pm1;           // growth of failure-free RMR vs n
+  std::string pm2;           // growth of RMR vs overlapping failures F
+  std::string pm3;           // growth of sustained-failure RMR vs n
+  std::string adaptiveness;  // non/semi/adaptive/super-adaptive
+  std::string boundedness;   // unbounded/bounded/well-bounded
+};
+
+WorkloadConfig Config(int n, uint64_t passages, uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.num_procs = n;
+  cfg.passages_per_proc = passages;
+  cfg.seed = seed;
+  cfg.cs_shared_ops = 8;
+  cfg.cs_yields = 2;
+  return cfg;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const uint64_t passages = static_cast<uint64_t>(cli.GetInt("passages", 150));
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+
+  bench::PrintHeader(
+      "Table 2 — performance-measure classification (empirical)",
+      "our lock (ba) is the only well-bounded super-adaptive algorithm");
+
+  Table table({"lock", "RMR-vs-n (ff)", "RMR-vs-F", "victim cc", "RMR-vs-n (storm)",
+               "adaptiveness", "boundedness"});
+
+  const std::vector<int> ns = {2, 8, 32};
+
+  for (const std::string& lock : RecoverableLockNames()) {
+    Verdicts v;
+
+    // PM1: failure-free RMR as n grows.
+    std::vector<double> xs, ys;
+    for (int n : ns) {
+      const RunResult r =
+          bench::Run(lock, Config(n, passages, seed), Scenario::None());
+      xs.push_back(n);
+      ys.push_back(r.passage.cc.mean());
+    }
+    v.pm1 = ClassifyGrowth(xs, ys);
+
+    // PM2: one sustained run at n=16 under uniformly spread crashes
+    // (every 40th shared op, whoever is there, plus FAS-targeted crashes
+    // so the filter designs also see their sensitive window). The class
+    // comes from the growth of the overlap-conditioned per-passage RMR
+    // (Thm 5.18's F) — a global mean would dilute the signal.
+    xs.clear();
+    ys.clear();
+    double bin0 = 0.0, first_bin = 0.0, last_bin = 0.0, victim_cc = 0.0;
+    {
+      // Calibrate the op volume so a bounded crash budget spreads across
+      // the whole run (unbounded injection would mostly hit spin loads).
+      double ops_pp = 40.0;
+      {
+        auto cal = MakeLock(lock, 16);
+        const RunResult rc =
+            RunWorkload(*cal, Config(16, 60, seed + 7), nullptr);
+        if (rc.passage.ops.count() > 0) ops_pp = rc.passage.ops.mean();
+      }
+      const uint64_t pm2_passages = passages * 2;
+      const uint64_t total_ops =
+          static_cast<uint64_t>(ops_pp * static_cast<double>(pm2_passages) * 16);
+      const int64_t budget = 384;
+      auto inst = MakeLock(lock, 16);
+      SpacedSiteCrash spread_part(
+          "", std::max<uint64_t>(1, total_ops / (2 * budget)), budget);
+      SpacedSiteCrash fas_part(
+          "fas", std::max<uint64_t>(1, (2 * pm2_passages * 16) / 512), 256);
+      CompositeCrash crash({&spread_part, &fas_part});
+      std::fprintf(stderr, "[run] %-14s PM2 sustained\n", lock.c_str());
+      const RunResult r = RunWorkload(*inst, Config(16, pm2_passages, seed + 1),
+                                      &crash);
+      victim_cc = r.victim_passage.cc.mean();
+      for (const auto& [bucket, seg] : r.by_overlap) {
+        if (seg.cc.count() < 3) continue;
+        if (bucket == 0) {
+          bin0 = seg.cc.mean();
+          continue;
+        }
+        if (first_bin == 0.0) first_bin = seg.cc.mean();
+        last_bin = seg.cc.mean();
+        // Classify the INCREMENT over the failure-free baseline: the
+        // additive O(1) base otherwise flattens small-range slopes.
+        const double inc = seg.cc.mean() - bin0;
+        if (inc > 0.5) {
+          xs.push_back(static_cast<double>(bucket));
+          ys.push_back(inc);
+        }
+      }
+    }
+    double max_inc = 0.0;
+    for (double inc : ys) max_inc = std::max(max_inc, inc);
+    if (xs.size() < 3 || max_inc < 0.25 * bin0) {
+      v.pm2 = "O(1)";
+    } else {
+      v.pm2 = ClassifyGrowth(xs, ys);
+    }
+
+    // PM3: sustained-failure RMR as n grows.
+    xs.clear();
+    ys.clear();
+    for (int n : ns) {
+      const RunResult r = bench::Run(lock, Config(n, passages / 2, seed + 2),
+                                     Scenario::Sustained(0.001));
+      xs.push_back(n);
+      ys.push_back(r.passage.cc.mean());
+    }
+    v.pm3 = ClassifyGrowth(xs, ys);
+
+    // Paper taxonomy (§2.5).
+    const bool pm1_ok = v.pm1 == "O(1)";
+    (void)first_bin;
+    (void)last_bin;
+    // A victim (a passage whose super-passage crashed at least once)
+    // paying a disproportionate flat bill while bystander costs stay
+    // O(1) is the semi-adaptive signature (first failure costs T(n)).
+    const double victim_jump = bin0 > 0 && victim_cc > 0 ? victim_cc / bin0 : 1.0;
+    if (!pm1_ok) {
+      v.adaptiveness = "non-adaptive";
+    } else if (v.pm2 == "~linear" || v.pm2 == "superlinear") {
+      v.adaptiveness = "adaptive";
+    } else if (v.pm2 == "O(1)" && victim_jump > 2.5) {
+      v.adaptiveness = "semi-adaptive";
+    } else {
+      v.adaptiveness = "super-adaptive";  // o(F) growth
+    }
+    if (v.pm2 == "~linear" || v.pm2 == "superlinear") {
+      // No cap observed as F grows: unbounded under unbounded failures.
+      v.boundedness = "unbounded";
+    } else if (v.pm3 == "O(1)" || v.pm3 == "sublinear") {
+      v.boundedness = "well-bounded";  // o(log n)-ish growth in n
+    } else {
+      v.boundedness = "bounded";
+    }
+
+    table.AddRow({lock, v.pm1, v.pm2, Table::Num(victim_cc, 1), v.pm3,
+                  v.adaptiveness, v.boundedness});
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  if (cli.GetBool("csv", false)) {
+    std::printf("CSV:\n%s\n", table.ToCsv().c_str());
+  }
+  std::printf(
+      "Classes from log-log fits of the overlap-conditioned increments.\n"
+      "Expected: ba = super-adaptive + well-bounded (the paper's headline\n"
+      "row); gr-adaptive = adaptive + unbounded; gr-semi = semi-adaptive\n"
+      "(victims pay the Theta(n)+T(n) bill, bystanders stay O(1));\n"
+      "tournament/kport-tree = non-adaptive. Known substitution artifacts\n"
+      "(EXPERIMENTS.md): cw-ticket measures better than Chan-Woelfel's\n"
+      "O(F) row because our ring recovery is O(1) off the claim window;\n"
+      "sa measures super-adaptive at this n although its worst case is a\n"
+      "one-failure jump to T(n) (see its victim column), i.e. analytically\n"
+      "semi-adaptive.\n");
+  return 0;
+}
+
+}  // namespace rme
+
+int main(int argc, char** argv) { return rme::BenchMain(argc, argv); }

@@ -1,0 +1,83 @@
+// Wall-clock throughput comparison (google-benchmark): acquire/release
+// cycles per second for every lock at several thread counts. This is the
+// "does the theory survive contact with a real machine" companion to the
+// RMR tables — the instrumentation overhead is identical across locks,
+// so relative ordering is meaningful.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+// One lock instance per (lock name, thread count) benchmark family,
+// created lazily and kept alive for all repetitions.
+struct SharedLock {
+  std::mutex mu;
+  std::unique_ptr<RecoverableLock> lock;
+  int n = 0;
+};
+
+void ThroughputBody(benchmark::State& state, SharedLock* shared,
+                    const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lk(shared->mu);
+    if (!shared->lock || shared->n != state.threads()) {
+      shared->lock = MakeLock(name, state.threads());
+      shared->n = state.threads();
+    }
+  }
+  const int pid = state.thread_index();
+  ProcessBinding bind(pid, nullptr);
+  RecoverableLock& lock = *shared->lock;
+  for (auto _ : state) {
+    lock.Recover(pid);
+    lock.Enter(pid);
+    benchmark::DoNotOptimize(pid);
+    lock.Exit(pid);
+  }
+  lock.OnProcessDone(pid);
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+}  // namespace rme
+
+int main(int argc, char** argv) {
+  // Default to short measurements (override with --benchmark_min_time).
+  std::vector<char*> args(argv, argv + argc);
+  char default_min_time[] = "--benchmark_min_time=0.1s";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(default_min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  // Leaked intentionally: benchmarks reference them until exit.
+  static std::vector<std::unique_ptr<rme::SharedLock>> shares;
+  for (const std::string& name : rme::AllLockNames()) {
+    for (int threads : {1, 4, 8}) {
+      shares.push_back(std::make_unique<rme::SharedLock>());
+      rme::SharedLock* share = shares.back().get();
+      benchmark::RegisterBenchmark(
+          (name + "/threads:" + std::to_string(threads)).c_str(),
+          [share, name](benchmark::State& st) {
+            rme::ThroughputBody(st, share, name);
+          })
+          ->Threads(threads)
+          ->UseRealTime()
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Adaptivity, live: the same BA-Lock instance driven through three
+// phases — quiet, unsafe-failure storm, quiet again — printing RMR per
+// passage for each phase. The point of the paper's "recent failures"
+// framing is visible directly: cost rises while failures are recent and
+// falls back to O(1) once their consequence intervals drain.
+//
+//   ./examples/adaptivity_demo
+#include <cstdio>
+#include <memory>
+
+#include "core/ba_lock.hpp"
+#include "crash/crash.hpp"
+#include "locks/tree_lock.hpp"
+#include "runtime/harness.hpp"
+
+int main() {
+  constexpr int kProcs = 8;
+  auto ba = std::make_unique<rme::BaLock>(
+      kProcs, 6, std::make_unique<rme::KPortTreeLock>(kProcs, "ba.base"));
+
+  auto run_phase = [&](const char* name, rme::CrashController* crash) {
+    rme::WorkloadConfig cfg;
+    cfg.num_procs = kProcs;
+    cfg.passages_per_proc = 300;
+    cfg.cs_shared_ops = 8;
+    cfg.cs_yields = 2;
+    const rme::RunResult r = rme::RunWorkload(*ba, cfg, crash);
+    std::printf("%-22s rmr/passage: mean %6.1f  max %5.0f   failures %5llu"
+                "   deepest level %1.0f\n",
+                name, r.passage.cc.mean(), r.passage.cc.max(),
+                static_cast<unsigned long long>(r.failures),
+                r.level_reached.max());
+    return r;
+  };
+
+  std::printf("BA-Lock (n=%d, m=6, base=kport-tree)\n", kProcs);
+  std::printf("----------------------------------------------------------\n");
+
+  run_phase("phase 1: quiet", nullptr);
+
+  {
+    // Storm: one unsafe failure (crash-after-filter-FAS) roughly every
+    // 40 filter appends, across the whole phase.
+    rme::SpacedSiteCrash storm("filter.tail.fas", 40, 200);
+    run_phase("phase 2: failure storm", &storm);
+  }
+
+  run_phase("phase 3: quiet again", nullptr);
+
+  std::printf("----------------------------------------------------------\n");
+  std::printf("Expected: phase 2's mean/max rise with escalation; phase 3\n"
+              "returns to phase 1's O(1) cost — adaptivity to RECENT\n"
+              "failures, not failure history (compare: a lock that is\n"
+              "merely bounded would stay expensive forever).\n");
+  return 0;
+}

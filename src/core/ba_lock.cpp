@@ -1,0 +1,66 @@
+#include "core/ba_lock.hpp"
+
+#include "locks/tree_lock.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+BaLock::BaLock(int num_procs, int levels,
+               std::unique_ptr<RecoverableLock> base, std::string label)
+    : n_(num_procs), m_(levels), label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  RME_CHECK(levels >= 1);
+  RME_CHECK(base != nullptr);
+  base_name_ = base->name();
+  for (auto& l : level_of_) l.store(0, std::memory_order_relaxed);
+
+  // Build the chain bottom-up: level m wraps the base, level 1 is `top_`.
+  std::unique_ptr<RecoverableLock> core = std::move(base);
+  for (int level = m_; level >= 1; --level) {
+    // A process "reaches level x" when it is diverted to the slow path at
+    // level x-1's splitter, i.e. when it starts competing for level x's
+    // filter; committing to the slow path at level x means it reached
+    // level x+1 (the base counts as level m+1).
+    auto on_slow = [this, level](int pid) {
+      uint64_t cur = level_of_[pid].load(std::memory_order_relaxed);
+      const auto reached = static_cast<uint64_t>(level + 1);
+      while (cur < reached &&
+             !level_of_[pid].compare_exchange_weak(cur, reached,
+                                                   std::memory_order_relaxed)) {
+      }
+    };
+    core = std::make_unique<SaLock>(
+        n_, std::move(core), label_ + ".L" + std::to_string(level),
+        std::move(on_slow));
+  }
+  top_.reset(static_cast<SaLock*>(core.release()));
+}
+
+std::unique_ptr<BaLock> BaLock::WithDefaultBase(int num_procs) {
+  auto base = std::make_unique<KPortTreeLock>(num_procs, "ba.base");
+  const int m = base->depth();
+  return std::make_unique<BaLock>(num_procs, m, std::move(base));
+}
+
+std::string BaLock::name() const {
+  return "ba-lock[m=" + std::to_string(m_) + "," + base_name_ + "]";
+}
+
+void BaLock::Recover(int pid) {
+  level_of_[pid].store(1, std::memory_order_relaxed);  // diagnostics
+  top_->Recover(pid);
+}
+
+void BaLock::Enter(int pid) { top_->Enter(pid); }
+
+void BaLock::Exit(int pid) { top_->Exit(pid); }
+
+bool BaLock::IsSensitiveSite(const std::string& site, bool after_op) const {
+  return top_->IsSensitiveSite(site, after_op);
+}
+
+void BaLock::OnProcessDone(int pid) { top_->OnProcessDone(pid); }
+
+std::string BaLock::StatsString() const { return top_->StatsString(); }
+
+}  // namespace rme

@@ -1,0 +1,66 @@
+// BA-Lock: the paper's well-bounded super-adaptive lock (§5.2,
+// Figure 3): m stacked SA-Lock levels whose level-i core is the level
+// i+1 SA-Lock, bottoming out in a bounded non-adaptive strongly
+// recoverable base lock.
+//
+//   BA-Lock            = SA-Lock[1]
+//   SA-Lock[i].core    = SA-Lock[i+1]    (i < m)
+//   SA-Lock[m].core    = base lock (KPortTreeLock by default)
+//
+// Escalating k processes past any level requires k unsafe failures of
+// that level's filter (Lemma 5.8), so reaching level x costs at least
+// x(x-1)/2 recent failures (Thm 5.17) — per-passage RMR is
+// O(min{sqrt(F), T(n)}) where T(n) is the base lock's cost (Thm 5.18).
+//
+// The paper sets m = T(n); we default to the base lock's tree depth and
+// expose it (`levels`) for the ablation benches.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "core/sa_lock.hpp"
+#include "locks/lock.hpp"
+
+namespace rme {
+
+class BaLock final : public RecoverableLock {
+ public:
+  /// `levels` = m >= 1; `base` is the bounded strongly recoverable lock
+  /// at the bottom of the recursion (owned).
+  BaLock(int num_procs, int levels, std::unique_ptr<RecoverableLock> base,
+         std::string label = "ba");
+
+  /// Convenience: KPortTreeLock base with its depth as the level count.
+  static std::unique_ptr<BaLock> WithDefaultBase(int num_procs);
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override;
+
+  bool IsStronglyRecoverable() const override { return true; }
+  int LastPathDepth(int pid) const override { return LastLevelOf(pid); }
+  bool IsSensitiveSite(const std::string& site, bool after_op) const override;
+  void OnProcessDone(int pid) override;
+  std::string StatsString() const override;
+
+  /// Deepest level (1-based; 0 = pure fast path at level 1) reached by
+  /// `pid`'s passage since its last Recover. Diagnostic, uninstrumented.
+  int LastLevelOf(int pid) const {
+    return static_cast<int>(level_of_[pid].load(std::memory_order_relaxed));
+  }
+
+  int levels() const { return m_; }
+
+ private:
+  int n_;
+  int m_;
+  std::string label_;
+  std::string base_name_;
+  std::unique_ptr<SaLock> top_;  ///< owns the whole SA chain + base
+  std::atomic<uint64_t> level_of_[kMaxProcs];
+};
+
+}  // namespace rme

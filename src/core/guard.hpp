@@ -1,0 +1,47 @@
+// RAII helpers for the Recover/Enter/Exit protocol.
+//
+// ScopedPassage runs Recover+Enter on construction and Exit on
+// destruction — BUT, unlike std::lock_guard, it must coexist with
+// simulated crashes: if a ProcessCrash unwinds the scope, the process
+// has conceptually lost the lock's private context and must NOT execute
+// Exit (the crash IS the end of the passage; the next passage's Recover
+// cleans up). The guard therefore skips Exit when unwound by an
+// exception.
+#pragma once
+
+#include <exception>
+
+#include "locks/lock.hpp"
+
+namespace rme {
+
+class ScopedPassage {
+ public:
+  /// Runs lock.Recover(pid) then lock.Enter(pid). May throw ProcessCrash
+  /// (the caller's passage loop handles it).
+  ScopedPassage(RecoverableLock& lock, int pid)
+      : lock_(lock), pid_(pid),
+        exceptions_on_entry_(std::uncaught_exceptions()) {
+    lock_.Recover(pid_);
+    lock_.Enter(pid_);
+  }
+
+  ScopedPassage(const ScopedPassage&) = delete;
+  ScopedPassage& operator=(const ScopedPassage&) = delete;
+
+  /// Runs lock.Exit(pid) unless the scope is being unwound by an
+  /// exception (a simulated crash): a crashed process takes no further
+  /// steps in this passage.
+  ~ScopedPassage() noexcept(false) {
+    if (std::uncaught_exceptions() == exceptions_on_entry_) {
+      lock_.Exit(pid_);
+    }
+  }
+
+ private:
+  RecoverableLock& lock_;
+  int pid_;
+  int exceptions_on_entry_;
+};
+
+}  // namespace rme

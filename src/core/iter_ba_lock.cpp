@@ -1,0 +1,156 @@
+#include "core/iter_ba_lock.hpp"
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+IterBaLock::IterBaLock(int num_procs, int levels,
+                       std::unique_ptr<RecoverableLock> base,
+                       bool remember_level, std::string label)
+    : n_(num_procs), m_(levels), remember_(remember_level),
+      label_(std::move(label)), base_(std::move(base)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  RME_CHECK(levels >= 1);
+  RME_CHECK(base_ != nullptr);
+  site_ = label_ + ".op";
+  filters_.reserve(static_cast<size_t>(m_));
+  splitters_.reserve(static_cast<size_t>(m_));
+  arbs_.reserve(static_cast<size_t>(m_));
+  for (int L = 0; L < m_; ++L) {
+    const std::string lvl = label_ + ".L" + std::to_string(L + 1);
+    filters_.push_back(std::make_unique<WrLock>(n_, lvl + ".filter"));
+    splitters_.push_back(std::make_unique<Splitter>(lvl + ".split"));
+    arbs_.push_back(std::make_unique<ArbitratorLock>(n_, lvl + ".arb"));
+  }
+  types_ = std::make_unique<rmr::Atomic<uint64_t>[]>(
+      static_cast<size_t>(m_) * kMaxProcs);
+  for (int L = 0; L < m_; ++L) {
+    for (int pid = 0; pid < kMaxProcs; ++pid) {
+      types_[static_cast<size_t>(L) * kMaxProcs + pid].set_home(pid);
+    }
+  }
+  for (int pid = 0; pid < kMaxProcs; ++pid) {
+    cursor_[pid].set_home(pid);
+    level_of_[pid].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string IterBaLock::name() const {
+  return "iter-ba[m=" + std::to_string(m_) + "," + base_->name() +
+         (remember_ ? ",cursor]" : "]");
+}
+
+bool IterBaLock::IsSensitiveSite(const std::string& site,
+                                 bool after_op) const {
+  for (const auto& filter : filters_) {
+    if (filter->IsSensitiveSite(site, after_op)) return true;
+  }
+  return base_->IsSensitiveSite(site, after_op);
+}
+
+int IterBaLock::FastLevelOf(int pid, int held_levels) {
+  // Ground truth for "where did this passage go fast": splitter
+  // ownership, which is persisted in the splitter itself. Types are NOT
+  // reliable here — a crash mid-exit can leave a level's type reset to
+  // FAST while the passage actually went deeper.
+  for (int L = 0; L < held_levels; ++L) {
+    if (splitters_[static_cast<size_t>(L)]->Occupies(pid)) return L;
+  }
+  return kBaseLevel;
+}
+
+void IterBaLock::Recover(int pid) {
+  level_of_[pid].store(1, std::memory_order_relaxed);  // diagnostics
+  // Component recovery runs inline with each component's Enter.
+}
+
+void IterBaLock::Enter(int pid) {
+  const char* site = site_.c_str();
+
+  // ---- Descend: filters and splitters, from the cursor. ----
+  const int start =
+      remember_ ? static_cast<int>(cursor_[pid].Load(site)) : 0;
+  RME_DCHECK(start <= m_);
+  int fast_level = kBaseLevel;
+  bool path_known = false;
+  if (start > 0) {
+    resumed_descents_.fetch_add(1, std::memory_order_relaxed);
+    // Resuming after a crash with levels 0..start-1 held. If one of them
+    // holds its splitter, the passage already committed to the fast path
+    // there: do NOT descend further.
+    fast_level = FastLevelOf(pid, start);
+    if (fast_level != kBaseLevel || start == m_) path_known = true;
+  }
+  if (!path_known) {
+    for (int L = start; L < m_; ++L) {
+      filters_[static_cast<size_t>(L)]->Recover(pid);
+      filters_[static_cast<size_t>(L)]->Enter(pid);
+      cursor_[pid].Store(static_cast<uint64_t>(L) + 1, site);
+      rmr::Atomic<uint64_t>& type =
+          types_[static_cast<size_t>(L) * kMaxProcs + pid];
+      if (type.Load(site) != kSlow) {
+        splitters_[static_cast<size_t>(L)]->TryFastPath(pid);
+      }
+      if (splitters_[static_cast<size_t>(L)]->Occupies(pid)) {
+        fast_level = L;
+        break;
+      }
+      type.Store(kSlow, site);
+    }
+  }
+  if (fast_level == kBaseLevel) {
+    // Either diverted at every level or resuming a base-path passage:
+    // the base lock's own state machine absorbs re-entry.
+    base_->Recover(pid);
+    base_->Enter(pid);
+  }
+
+  // ---- Ascend: arbitrators, deepest involved level back to the top. ---
+  const int top = fast_level == kBaseLevel ? m_ - 1 : fast_level;
+  for (int L = top; L >= 0; --L) {
+    const Side side = (L == fast_level) ? Side::kLeft : Side::kRight;
+    arbs_[static_cast<size_t>(L)]->Recover(side, pid);
+    arbs_[static_cast<size_t>(L)]->Enter(side, pid);
+  }
+
+  level_of_[pid].store(static_cast<uint64_t>(top) + 1,
+                       std::memory_order_relaxed);
+}
+
+void IterBaLock::Exit(int pid) {
+  const char* site = site_.c_str();
+  const int held = static_cast<int>(cursor_[pid].Load(site));
+  RME_DCHECK(held >= 1 && held <= m_);
+  const int fast_level = FastLevelOf(pid, held);
+  const int top = fast_level == kBaseLevel ? held - 1 : fast_level;
+
+  // Arbitrators, outermost first (mirrors the nested exit order).
+  for (int L = 0; L <= top; ++L) {
+    const Side side = (L == fast_level) ? Side::kLeft : Side::kRight;
+    arbs_[static_cast<size_t>(L)]->Exit(side, pid);
+  }
+  if (fast_level == kBaseLevel) {
+    base_->Exit(pid);
+  } else {
+    splitters_[static_cast<size_t>(fast_level)]->Release(pid);
+  }
+  // Filters, deepest first; the cursor drops BEFORE each release so it
+  // never claims an unheld filter.
+  for (int L = top; L >= 0; --L) {
+    types_[static_cast<size_t>(L) * kMaxProcs + pid].Store(kFast, site);
+    cursor_[pid].Store(static_cast<uint64_t>(L), site);
+    filters_[static_cast<size_t>(L)]->Exit(pid);
+  }
+}
+
+void IterBaLock::OnProcessDone(int pid) {
+  for (auto& filter : filters_) filter->OnProcessDone(pid);
+  base_->OnProcessDone(pid);
+}
+
+std::string IterBaLock::StatsString() const {
+  return label_ + ": resumed-descents=" +
+         std::to_string(resumed_descents_.load(std::memory_order_relaxed));
+}
+
+}  // namespace rme

@@ -1,0 +1,73 @@
+#include "core/lock_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ba_lock.hpp"
+#include "core/iter_ba_lock.hpp"
+#include "core/sa_lock.hpp"
+#include "locks/gr_adaptive_lock.hpp"
+#include "locks/gr_semi_lock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/ticket_rlock.hpp"
+#include "locks/tree_lock.hpp"
+#include "locks/wr_lock.hpp"
+#include "locks/ya_tournament_lock.hpp"
+
+namespace rme {
+
+std::unique_ptr<RecoverableLock> MakeLock(const std::string& name,
+                                          int num_procs) {
+  if (name == "mcs") return std::make_unique<McsLock>(num_procs);
+  if (name == "wr") return std::make_unique<WrLock>(num_procs);
+  if (name == "gr-adaptive") return std::make_unique<GrAdaptiveLock>(num_procs);
+  if (name == "gr-semi") return std::make_unique<GrSemiLock>(num_procs);
+  if (name == "tournament") return std::make_unique<TournamentLock>(num_procs);
+  if (name == "ya-tournament") return std::make_unique<YaTournamentLock>(num_procs);
+  if (name == "kport-tree") return std::make_unique<KPortTreeLock>(num_procs);
+  if (name == "cw-ticket") return std::make_unique<TicketRLock>(num_procs);
+  if (name == "sa") {
+    // One SA level over the default base: the §5.1 semi-adaptive lock.
+    return std::make_unique<SaLock>(
+        num_procs, std::make_unique<KPortTreeLock>(num_procs, "sa.core"));
+  }
+  if (name == "sa-tournament") {
+    return std::make_unique<SaLock>(
+        num_procs, std::make_unique<TournamentLock>(num_procs, "sa.core"));
+  }
+  if (name == "ba") return BaLock::WithDefaultBase(num_procs);
+  if (name == "ba-iter" || name == "ba-iter-nocursor") {
+    auto base = std::make_unique<KPortTreeLock>(num_procs, "iba.base");
+    const int m = base->depth();
+    return std::make_unique<IterBaLock>(num_procs, m, std::move(base),
+                                        /*remember_level=*/name == "ba-iter");
+  }
+  if (name == "ba-tournament") {
+    auto base = std::make_unique<TournamentLock>(num_procs, "ba.base");
+    const int m = base->depth();
+    return std::make_unique<BaLock>(num_procs, m, std::move(base));
+  }
+
+  std::fprintf(stderr, "unknown lock '%s'; known locks:", name.c_str());
+  for (const auto& known : AllLockNames()) {
+    std::fprintf(stderr, " %s", known.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+std::vector<std::string> AllLockNames() {
+  return {"mcs",        "wr",         "gr-adaptive", "gr-semi",
+          "tournament", "ya-tournament", "kport-tree", "cw-ticket",
+          "sa",         "sa-tournament", "ba",         "ba-tournament",
+          "ba-iter",    "ba-iter-nocursor"};
+}
+
+std::vector<std::string> RecoverableLockNames() {
+  return {"wr",        "gr-adaptive",   "gr-semi", "tournament",
+          "ya-tournament", "kport-tree", "cw-ticket", "sa",
+          "sa-tournament", "ba",        "ba-tournament", "ba-iter",
+          "ba-iter-nocursor"};
+}
+
+}  // namespace rme

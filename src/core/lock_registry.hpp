@@ -1,0 +1,24 @@
+// Name -> factory registry so benches, tests and examples can build any
+// lock in the zoo from a string (and sweep over all of them).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locks/lock.hpp"
+
+namespace rme {
+
+/// Builds the lock registered under `name` for `num_procs` processes.
+/// Aborts with the list of known names if `name` is unknown.
+std::unique_ptr<RecoverableLock> MakeLock(const std::string& name,
+                                          int num_procs);
+
+/// All registered lock names, in Table-1 order.
+std::vector<std::string> AllLockNames();
+
+/// The subset safe to run under crash injection (excludes "mcs").
+std::vector<std::string> RecoverableLockNames();
+
+}  // namespace rme

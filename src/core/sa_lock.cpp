@@ -1,0 +1,91 @@
+#include "core/sa_lock.hpp"
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+SaLock::SaLock(int num_procs, std::unique_ptr<RecoverableLock> core,
+               std::string label, std::function<void(int pid)> on_slow)
+    : n_(num_procs), label_(std::move(label)),
+      filter_(num_procs, label_ + ".filter"),
+      splitter_(label_ + ".split"),
+      core_(std::move(core)),
+      arb_(num_procs, label_ + ".arb"),
+      on_slow_(std::move(on_slow)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  RME_CHECK(core_ != nullptr);
+  site_ = label_ + ".op";
+  for (int i = 0; i < kMaxProcs; ++i) {
+    type_[i].set_home(i);
+    type_[i].RawStore(kFast);
+  }
+}
+
+bool SaLock::IsSensitiveSite(const std::string& site, bool after_op) const {
+  // Locality property (Def 3.6): the only weakly recoverable component
+  // here is the filter; the core may itself be an SaLock one level down.
+  return filter_.IsSensitiveSite(site, after_op) ||
+         core_->IsSensitiveSite(site, after_op);
+}
+
+void SaLock::Recover(int /*pid*/) {
+  // Empty by design: each component's Recover segment executes right
+  // before its Enter segment (Algorithm 3's convention).
+}
+
+void SaLock::Enter(int pid) {
+  const char* site = site_.c_str();
+
+  filter_.Recover(pid);
+  filter_.Enter(pid);
+
+  if (type_[pid].Load(site) != kSlow) {
+    // Not yet committed to the slow path: one attempt at the fast path.
+    splitter_.TryFastPath(pid);
+  }
+  if (!splitter_.Occupies(pid)) {
+    type_[pid].Store(kSlow, site);
+    if (on_slow_) on_slow_(pid);
+    core_->Recover(pid);
+    core_->Enter(pid);
+  }
+
+  const Side side = SideOf(type_[pid].Load(site));
+  arb_.Recover(side, pid);
+  arb_.Enter(side, pid);
+
+  if (side == Side::kLeft) {
+    fast_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slow_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SaLock::Exit(int pid) {
+  const char* site = site_.c_str();
+  const uint64_t type = type_[pid].Load(site);
+
+  arb_.Exit(SideOf(type), pid);
+  if (type == kSlow) {
+    core_->Exit(pid);
+  } else {
+    splitter_.Release(pid);
+  }
+  type_[pid].Store(kFast, site);
+  filter_.Exit(pid);
+}
+
+void SaLock::OnProcessDone(int pid) {
+  filter_.OnProcessDone(pid);
+  core_->OnProcessDone(pid);
+}
+
+std::string SaLock::StatsString() const {
+  std::string s = label_ + ": fast=" + std::to_string(fast_passages()) +
+                  " slow=" + std::to_string(slow_passages());
+  const std::string inner = core_->StatsString();
+  if (!inner.empty()) s += "\n" + inner;
+  return s;
+}
+
+}  // namespace rme

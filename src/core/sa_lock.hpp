@@ -1,0 +1,85 @@
+// SA-Lock: the paper's semi-adaptive framework (§5.1, Algorithm 3,
+// Figure 2). Composition per passage:
+//
+//   filter (WrLock, weakly recoverable, O(1))
+//     -> splitter (one CAS; admits exactly one process to the fast path)
+//          fast path ------------------------------.
+//          slow path -> core lock (strongly rec.) --+-> arbitrator (dual
+//                                                       port, O(1))
+//
+// In the absence of failures the filter admits one process at a time, so
+// everyone takes the fast path: O(1) RMR end to end. Only an unsafe
+// failure of the filter can push processes onto the slow path and into
+// the core lock — that is Lemma 5.8, and it is what the recursive
+// BA-Lock stacks into sqrt-F adaptivity.
+//
+// SA-Lock is strongly recoverable (Thm 5.5): the arbitrator decides CS
+// entry, the splitter serializes its Left side and the core lock its
+// Right side. Its own Recover segment is empty — each component's
+// Recover runs immediately before that component's Enter, as in the
+// paper's pseudocode.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "locks/arbitrator_lock.hpp"
+#include "locks/lock.hpp"
+#include "locks/splitter.hpp"
+#include "locks/wr_lock.hpp"
+
+namespace rme {
+
+class SaLock final : public RecoverableLock {
+ public:
+  /// `core`: the strongly recoverable slow-path lock (owned).
+  /// `on_slow`: optional diagnostic callback invoked (uninstrumented)
+  /// whenever a process commits to the slow path — BaLock uses it to
+  /// record escalation levels.
+  SaLock(int num_procs, std::unique_ptr<RecoverableLock> core,
+         std::string label = "sa",
+         std::function<void(int pid)> on_slow = nullptr);
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "sa-lock(" + core_->name() + ")"; }
+
+  bool IsStronglyRecoverable() const override { return true; }
+  bool IsSensitiveSite(const std::string& site, bool after_op) const override;
+  void OnProcessDone(int pid) override;
+  std::string StatsString() const override;
+
+  RecoverableLock& core() { return *core_; }
+
+  uint64_t fast_passages() const { return fast_count_.load(std::memory_order_relaxed); }
+  uint64_t slow_passages() const { return slow_count_.load(std::memory_order_relaxed); }
+
+ private:
+  enum PathType : uint64_t { kFast = 0, kSlow = 1 };
+
+  Side SideOf(uint64_t type) const {
+    return type == kFast ? Side::kLeft : Side::kRight;
+  }
+
+  int n_;
+  std::string label_;
+  std::string site_;
+
+  WrLock filter_;
+  Splitter splitter_;
+  std::unique_ptr<RecoverableLock> core_;
+  ArbitratorLock arb_;
+
+  /// Committed path of the in-flight passage; reset to FAST only after a
+  /// complete Exit (Algorithm 3 line: type[i] <- FAST).
+  rmr::Atomic<uint64_t> type_[kMaxProcs];
+
+  std::function<void(int pid)> on_slow_;
+  // Diagnostics (not part of the algorithm; uninstrumented).
+  std::atomic<uint64_t> fast_count_{0};
+  std::atomic<uint64_t> slow_count_{0};
+};
+
+}  // namespace rme

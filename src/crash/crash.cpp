@@ -1,0 +1,137 @@
+#include "crash/crash.hpp"
+
+#include <cstring>
+
+namespace rme {
+
+namespace rmr_detail {
+
+void MaybeCrash(const char* site, bool after_op) {
+  ProcessContext& ctx = CurrentProcess();
+  if (!after_op) {
+    ctx.last_site = site;  // stall diagnostics
+    // Deterministic simulator: interleaving decision point before the op.
+    SimYieldPoint();
+  }
+  if (ctx.crash == nullptr || ctx.pid == kMemoryNode) return;
+  if (ctx.crash->ShouldCrash(ctx.pid, site, after_op)) {
+    throw ProcessCrash{ctx.pid, site, after_op, LogicalNow()};
+  }
+}
+
+}  // namespace rmr_detail
+
+RandomCrash::RandomCrash(uint64_t seed, double per_op_probability,
+                         int64_t budget)
+    : p_(per_op_probability), budget_(budget), unlimited_(budget < 0) {
+  for (int i = 0; i < kMaxProcs; ++i) streams_[i] = Prng(seed, static_cast<uint64_t>(i));
+}
+
+bool RandomCrash::ShouldCrash(int pid, const char* /*site*/, bool after_op) {
+  // Only fire on the "after" probe so each op is tested exactly once and a
+  // crash always happens with the op's effect applied (the harder case:
+  // effect persisted, private result lost).
+  if (!after_op) return false;
+  if (!streams_[pid].Bernoulli(p_)) return false;
+  if (!unlimited_) {
+    if (budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      budget_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  NoteCrash();
+  return true;
+}
+
+SiteCrash::SiteCrash(int pid, std::string site, bool after_op, uint64_t nth,
+                     uint64_t count)
+    : pid_(pid), site_(std::move(site)), after_op_(after_op), nth_(nth),
+      remaining_(static_cast<int64_t>(count)) {}
+
+bool SiteCrash::ShouldCrash(int pid, const char* site, bool after_op) {
+  if (pid != pid_ || after_op != after_op_ || site_ != site) return false;
+  const uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit < nth_) return false;
+  if (remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    remaining_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  NoteCrash();
+  return true;
+}
+
+SpacedSiteCrash::SpacedSiteCrash(std::string site_suffix, uint64_t period,
+                                 int64_t budget, bool after_op)
+    : suffix_(std::move(site_suffix)), period_(period == 0 ? 1 : period),
+      budget_(budget), after_op_(after_op) {}
+
+bool SpacedSiteCrash::ShouldCrash(int /*pid*/, const char* site,
+                                  bool after_op) {
+  if (after_op != after_op_) return false;
+  const std::string_view sv(site);
+  if (sv.size() < suffix_.size() ||
+      sv.substr(sv.size() - suffix_.size()) != suffix_) {
+    return false;
+  }
+  const uint64_t match = matches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (match % period_ != 0) return false;
+  if (budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    budget_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  NoteCrash();
+  return true;
+}
+
+NthOpCrash::NthOpCrash(int pid, uint64_t nth_op) : pid_(pid), nth_(nth_op) {}
+
+bool NthOpCrash::ShouldCrash(int pid, const char* /*site*/, bool after_op) {
+  if (pid != pid_ || !after_op) return false;
+  const uint64_t seen = seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen == nth_ && !fired_.exchange(true, std::memory_order_relaxed)) {
+    NoteCrash();
+    return true;
+  }
+  return false;
+}
+
+BatchCrash::BatchCrash(std::vector<Batch> batches, std::string site_suffix)
+    : batches_(std::move(batches)), suffix_(std::move(site_suffix)),
+      fired_(batches_.size()) {
+  for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+}
+
+bool BatchCrash::ShouldCrash(int pid, const char* site, bool after_op) {
+  if (!after_op) return false;
+  if (!suffix_.empty()) {
+    const std::string_view sv(site);
+    if (sv.size() < suffix_.size() ||
+        sv.substr(sv.size() - suffix_.size()) != suffix_) {
+      return false;
+    }
+  }
+  const uint64_t now = LogicalNow();
+  const uint64_t bit = 1ULL << pid;
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (now < batches_[i].at_logical_time) continue;
+    if ((batches_[i].pid_mask & bit) == 0) continue;
+    const uint64_t prev = fired_[i].fetch_or(bit, std::memory_order_relaxed);
+    if ((prev & bit) == 0) {
+      NoteCrash();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CompositeCrash::ShouldCrash(int pid, const char* site, bool after_op) {
+  for (CrashController* part : parts_) {
+    if (part->ShouldCrash(pid, site, after_op)) {
+      NoteCrash();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rme

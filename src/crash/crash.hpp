@@ -1,0 +1,166 @@
+// Crash injection.
+//
+// A simulated crash is a C++ exception (ProcessCrash) thrown from inside
+// an instrumented shared-memory operation. Unwinding destroys the
+// process's private state (function locals) while the rmr::Atomic shared
+// state — the simulated NVRAM — survives, which is exactly the paper's
+// crash-recover model. The harness catches the exception and restarts the
+// process from the NCS segment per Algorithm 1.
+//
+// Controllers decide *when* to crash. They are consulted before and after
+// every shared-memory operation with the operation's site label, so tests
+// can deterministically crash, e.g., process 3 immediately after its FAS
+// on the WR-lock tail (the paper's one sensitive instruction, Figure 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rmr/counters.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+
+/// Thrown to simulate a process crash. Never catch this inside lock code.
+struct ProcessCrash {
+  int pid;            ///< crashing process
+  const char* site;   ///< label of the shared op at the crash point
+  bool after_op;      ///< true: op took effect, result lost (paper's
+                      ///< "immediately after executing the instruction")
+  uint64_t time;      ///< logical clock at the crash
+};
+
+/// Decides whether the current shared-memory operation should crash the
+/// calling process. Implementations must be thread-safe: every simulated
+/// process consults the same controller concurrently.
+class CrashController {
+ public:
+  virtual ~CrashController() = default;
+
+  /// Returns true to crash process `pid` at this point.
+  virtual bool ShouldCrash(int pid, const char* site, bool after_op) = 0;
+
+  /// Total crashes this controller has triggered.
+  uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+
+ protected:
+  /// Registers a triggered crash (called by implementations on `true`).
+  void NoteCrash() { crashes_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> crashes_{0};
+};
+
+/// Never crashes (failure-free runs).
+class NeverCrash final : public CrashController {
+ public:
+  bool ShouldCrash(int, const char*, bool) override { return false; }
+};
+
+/// Crashes each op independently with probability p, optionally stopping
+/// after a global budget of crashes (to inject "exactly F failures").
+/// Each process draws from its own deterministic stream.
+class RandomCrash final : public CrashController {
+ public:
+  RandomCrash(uint64_t seed, double per_op_probability,
+              int64_t budget = -1 /* unlimited */);
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  double p_;
+  std::atomic<int64_t> budget_;
+  bool unlimited_;
+  Prng streams_[kMaxProcs];
+};
+
+/// Crashes a specific process the nth time it reaches a labelled site.
+/// One-shot (fires `count` times, default once).
+class SiteCrash final : public CrashController {
+ public:
+  SiteCrash(int pid, std::string site, bool after_op, uint64_t nth = 1,
+            uint64_t count = 1);
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  int pid_;
+  std::string site_;
+  bool after_op_;
+  std::atomic<uint64_t> hits_{0};
+  uint64_t nth_;
+  std::atomic<int64_t> remaining_;
+};
+
+/// Crashes whatever process hits a matching site, at every `period`-th
+/// matching operation (counted globally), until `budget` crashes have
+/// fired. Matching is by suffix, so "filter.tail.fas" hits the filters of
+/// every BA-Lock level. This is the escalation driver for the Figure-3
+/// experiments: unsafe failures, evenly spread across the run.
+class SpacedSiteCrash final : public CrashController {
+ public:
+  SpacedSiteCrash(std::string site_suffix, uint64_t period, int64_t budget,
+                  bool after_op = true);
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  std::string suffix_;
+  uint64_t period_;
+  std::atomic<int64_t> budget_;
+  bool after_op_;
+  std::atomic<uint64_t> matches_{0};
+};
+
+/// Crashes a specific process at its kth shared-memory operation
+/// (counted per process). One-shot.
+class NthOpCrash final : public CrashController {
+ public:
+  NthOpCrash(int pid, uint64_t nth_op);
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  int pid_;
+  uint64_t nth_;
+  std::atomic<uint64_t> seen_{0};
+  std::atomic<bool> fired_{false};
+};
+
+/// Batch failures (paper §7.1): at each scheduled logical time, every
+/// process in the batch crashes at its next shared-memory operation —
+/// or, with `site_suffix`, at its next operation on a matching site
+/// (e.g. "filter.tail.fas" to make the whole batch unsafe).
+class BatchCrash final : public CrashController {
+ public:
+  struct Batch {
+    uint64_t at_logical_time;
+    uint64_t pid_mask;  ///< bit i set => process i crashes
+  };
+  explicit BatchCrash(std::vector<Batch> batches, std::string site_suffix = "");
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  std::vector<Batch> batches_;
+  std::string suffix_;
+  /// Per-batch mask of processes that already fired.
+  std::vector<std::atomic<uint64_t>> fired_;
+};
+
+/// Consults a list of controllers in order.
+class CompositeCrash final : public CrashController {
+ public:
+  explicit CompositeCrash(std::vector<CrashController*> parts)
+      : parts_(std::move(parts)) {}
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+ private:
+  std::vector<CrashController*> parts_;
+};
+
+}  // namespace rme

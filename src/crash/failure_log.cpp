@@ -1,0 +1,79 @@
+#include "crash/failure_log.hpp"
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+FailureLog::FailureLog(int num_procs) : n_(num_procs) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  for (int i = 0; i < kMaxProcs; ++i) {
+    started_[i].store(0, std::memory_order_relaxed);
+    completed_req_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t FailureLog::OnRequestStart(int pid) {
+  return started_[pid].fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+void FailureLog::OnRequestComplete(int pid) {
+  const uint64_t cur = started_[pid].load(std::memory_order_acquire);
+  completed_req_[pid].store(cur, std::memory_order_release);
+}
+
+void FailureLog::RecordFailure(int pid, uint64_t time, const std::string& site,
+                               bool after_op, bool unsafe) {
+  FailureRecord rec;
+  rec.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec.pid = pid;
+  rec.time = time;
+  rec.site = site;
+  rec.after_op = after_op;
+  rec.unsafe = unsafe;
+  for (int j = 0; j < n_; ++j) {
+    const uint64_t s = started_[j].load(std::memory_order_acquire);
+    const uint64_t c = completed_req_[j].load(std::memory_order_acquire);
+    rec.pending_req[j] = (s > c) ? s : 0;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  maybe_active_.push_back(records_.size());
+  records_.push_back(std::move(rec));
+}
+
+bool FailureLog::IntervalActive(const FailureRecord& r) const {
+  for (int j = 0; j < n_; ++j) {
+    if (r.pending_req[j] != 0 &&
+        completed_req_[j].load(std::memory_order_acquire) < r.pending_req[j]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FailureLog::TotalFailures() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+uint64_t FailureLog::ActiveFailures(bool unsafe_only) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t active = 0;
+  size_t keep = 0;
+  for (size_t idx : maybe_active_) {
+    const FailureRecord& r = records_[idx];
+    if (IntervalActive(r)) {
+      maybe_active_[keep++] = idx;
+      if (!unsafe_only || r.unsafe) ++active;
+    }
+    // Ended intervals are dropped: they can never become active again.
+  }
+  maybe_active_.resize(keep);
+  return active;
+}
+
+std::vector<FailureRecord> FailureLog::Records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+}  // namespace rme

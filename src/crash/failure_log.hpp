@@ -1,0 +1,81 @@
+// Failure bookkeeping: records every simulated crash together with a
+// snapshot of the requests pending at crash time, which realizes the
+// paper's Definition 3.1 (consequence interval): the interval of a
+// failure f lasts until every request generated before f is satisfied.
+//
+// The invariant checkers use this to decide whether a mutual-exclusion
+// violation by a *weakly* recoverable lock is admissible (Def 3.2) and
+// whether the lock is responsive (Def 3.5: k+1 processes in CS implies
+// >= k overlapping unsafe failures).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+struct FailureRecord {
+  uint64_t id = 0;
+  int pid = -1;
+  uint64_t time = 0;          ///< logical clock at the crash
+  std::string site;           ///< shared-op label at the crash point
+  bool after_op = false;
+  bool unsafe = false;        ///< crash at a sensitive instruction
+  /// Snapshot: pending_req[j] = id of process j's request that was pending
+  /// at crash time (0 = none). The consequence interval is active while
+  /// any such request remains unsatisfied.
+  uint64_t pending_req[kMaxProcs] = {};
+};
+
+class FailureLog {
+ public:
+  explicit FailureLog(int num_procs);
+
+  /// Marks the start of a new request (super-passage) by `pid`.
+  /// Returns the request id.
+  uint64_t OnRequestStart(int pid);
+
+  /// Marks `pid`'s current request satisfied (failure-free passage done).
+  void OnRequestComplete(int pid);
+
+  /// Records a crash. `unsafe` should be true iff the crash hit a
+  /// sensitive instruction of the lock under test.
+  void RecordFailure(int pid, uint64_t time, const std::string& site,
+                     bool after_op, bool unsafe);
+
+  /// Number of failures recorded so far.
+  uint64_t TotalFailures() const;
+
+  /// Number of failures whose consequence interval is active right now.
+  /// With `unsafe_only`, counts only unsafe failures (Thm 4.2 checks).
+  uint64_t ActiveFailures(bool unsafe_only = false) const;
+
+  /// True if any consequence interval is currently active.
+  bool AnyActive() const { return ActiveFailures() > 0; }
+
+  int num_procs() const { return n_; }
+
+  /// All records (copy; for post-run analysis).
+  std::vector<FailureRecord> Records() const;
+
+ private:
+  bool IntervalActive(const FailureRecord& r) const;
+
+  int n_;
+  std::atomic<uint64_t> started_[kMaxProcs];
+  std::atomic<uint64_t> completed_req_[kMaxProcs];  ///< id of last satisfied
+  mutable std::mutex mu_;
+  std::vector<FailureRecord> records_;  ///< full history (append-only)
+  /// Indices into records_ whose intervals may still be active; queries
+  /// prune lazily (an ended interval never reactivates), so the scan cost
+  /// tracks the number of live intervals, not total history.
+  mutable std::vector<size_t> maybe_active_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace rme

@@ -1,0 +1,90 @@
+#include "locks/arbitrator_lock.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+ArbitratorLock::ArbitratorLock(int num_procs, std::string label)
+    : label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  site_ = label_ + ".op";
+  for (int i = 0; i < kMaxProcs; ++i) spin_[i].set_home(i);
+}
+
+bool ArbitratorLock::MayEnter(int s) {
+  const char* site = site_.c_str();
+  // Peterson condition: proceed if the other side is not interested or it
+  // is the other side's turn to yield.
+  return flag_[1 - s].Load(site) == 0 ||
+         turn_.Load(site) != static_cast<uint64_t>(s);
+}
+
+void ArbitratorLock::WakeOther(int s) {
+  const char* site = site_.c_str();
+  const uint64_t other_claim = claim_[1 - s].Load(site);
+  if (other_claim != 0) {
+    spin_[other_claim - 1].Store(1, site);
+  }
+}
+
+void ArbitratorLock::Recover(Side side, int pid) {
+  const int s = static_cast<int>(side);
+  const char* site = site_.c_str();
+  const uint64_t claim = claim_[s].Load(site);
+  if (state_[s].Load(site) == kLeaving &&
+      (claim == static_cast<uint64_t>(pid) + 1 || claim == 0)) {
+    // Finish the interrupted Exit. claim == 0 covers a crash between
+    // clearing the claim and freeing the side; only the crashed owner can
+    // be back here (the framework routes it to the same side until its
+    // passage completes), so adopting the orphaned Leaving state is safe.
+    DoExit(s, pid);
+  }
+  // Everything else is handled by the state guards in Enter.
+}
+
+void ArbitratorLock::Enter(Side side, int pid) {
+  const int s = static_cast<int>(side);
+  const char* site = site_.c_str();
+
+  if (state_[s].Load(site) == kFree) {
+    claim_[s].Store(static_cast<uint64_t>(pid) + 1, site);
+    state_[s].Store(kTrying, site);
+  }
+
+  if (state_[s].Load(site) == kTrying) {
+    RME_DCHECK(claim_[s].RawLoad() == static_cast<uint64_t>(pid) + 1);
+    flag_[s].Store(1, site);
+    // Yield to the other side; this write may release its waiter, so wake
+    // it. Re-running this block after a crash only re-yields — safe.
+    turn_.Store(static_cast<uint64_t>(s), site);
+    WakeOther(s);
+
+    uint64_t iter = 0;
+    while (!MayEnter(s)) {
+      // Arm the local wake flag, re-check (lost-wakeup window), then spin
+      // locally; the other side wakes us after each releasing write.
+      spin_[pid].Store(0, site);
+      if (MayEnter(s)) break;
+      while (spin_[pid].Load(site) == 0) SpinPause(iter++);
+    }
+    state_[s].Store(kInCS, site);
+  }
+  // state == kInCS: bounded re-entry after a crash in CS (BCSR).
+}
+
+void ArbitratorLock::Exit(Side side, int pid) {
+  DoExit(static_cast<int>(side), pid);
+}
+
+void ArbitratorLock::DoExit(int s, int pid) {
+  const char* site = site_.c_str();
+  state_[s].Store(kLeaving, site);
+  flag_[s].Store(0, site);
+  WakeOther(s);
+  claim_[s].Store(0, site);
+  state_[s].Store(kFree, site);
+  (void)pid;
+}
+
+}  // namespace rme

@@ -1,0 +1,62 @@
+// The framework's arbitrator: a dual-port strongly recoverable lock
+// (§5.1). Each port ("side") is used by at most one process at a time —
+// Left by the unique fast-path process, Right by the core-lock holder —
+// but the identity of that process changes from passage to passage.
+//
+// The construction is a recoverable Peterson/Yang–Anderson-style
+// 2-agent lock where the agents are the *sides*:
+//   - flag[side]  : intent to enter,
+//   - turn        : tie-break (a side yields by writing its own id),
+//   - claim[side] : pid+1 of the process currently bound to the side,
+//   - state[side] : per-side progress machine giving idempotent
+//                   re-execution after crashes (BCSR in O(1) steps),
+//   - spin[pid]   : per-process wake flags, homed at the process, so all
+//                   waiting is local under DSM; writers on the other side
+//                   wake the registered claimant after every step that
+//                   could release it.
+//
+// RMR complexity is O(1) per passage under both models in every failure
+// regime; there are no sensitive instructions (every write is re-runnable
+// behind its state guard), so the lock is strongly recoverable.
+#pragma once
+
+#include <string>
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+enum class Side : int { kLeft = 0, kRight = 1 };
+
+class ArbitratorLock {
+ public:
+  explicit ArbitratorLock(int num_procs, std::string label = "arb");
+
+  ArbitratorLock(const ArbitratorLock&) = delete;
+  ArbitratorLock& operator=(const ArbitratorLock&) = delete;
+
+  void Recover(Side side, int pid);
+  void Enter(Side side, int pid);
+  void Exit(Side side, int pid);
+
+  /// Test hook: pid+1 currently claiming the side (0 = none).
+  uint64_t ClaimOf(Side side) const { return claim_[static_cast<int>(side)].RawLoad(); }
+
+ private:
+  enum State : uint64_t { kFree = 0, kTrying = 1, kInCS = 2, kLeaving = 3 };
+
+  void DoExit(int s, int pid);
+  void WakeOther(int s);
+  bool MayEnter(int s);
+
+  std::string label_;
+  std::string site_;
+
+  rmr::Atomic<uint64_t> flag_[2];
+  rmr::Atomic<uint64_t> turn_{0};
+  rmr::Atomic<uint64_t> claim_[2];
+  rmr::Atomic<uint64_t> state_[2];
+  rmr::Atomic<uint64_t> spin_[kMaxProcs];
+};
+
+}  // namespace rme

@@ -1,0 +1,120 @@
+#include "locks/gr_adaptive_lock.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+GrAdaptiveLock::GrAdaptiveLock(int num_procs, std::string label)
+    : n_(num_procs), label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  site_ = label_ + ".op";
+  nodes_ = std::make_unique<QNode[]>(static_cast<size_t>(n_) * kNodesPerProc);
+  for (int pid = 0; pid < n_; ++pid) {
+    for (int j = 0; j < kNodesPerProc; ++j) {
+      nodes_[static_cast<size_t>(pid) * kNodesPerProc + j].SetHome(pid);
+    }
+    state_[pid].set_home(pid);
+    nodeseq_[pid].set_home(pid);
+    myepoch_[pid].set_home(pid);
+    myseq_[pid].set_home(pid);
+  }
+}
+
+QNode* GrAdaptiveLock::NodeFor(int pid, uint64_t seq) {
+  return &nodes_[static_cast<size_t>(pid) * kNodesPerProc +
+                 static_cast<size_t>(seq % kNodesPerProc)];
+}
+
+void GrAdaptiveLock::BumpEpoch() {
+  const char* site = site_.c_str();
+  const uint64_t e = epoch_.Load(site);
+  // Reset the NEXT instance before publishing the bump, so nobody can be
+  // queued there yet (stragglers from epoch e keep using slot e % kInst).
+  tails_[(e + 1) % kInstances].Store(nullptr, site);
+  epoch_.CompareExchange(e, e + 1, site);  // lose harmlessly to a racer
+}
+
+void GrAdaptiveLock::Recover(int pid) {
+  const char* site = site_.c_str();
+  const uint64_t st = state_[pid].Load(site);
+  if (st == kTrying) {
+    if (owner_.Load(site) == static_cast<uint64_t>(pid) + 1) {
+      // Crashed between winning the gate and recording it.
+      state_[pid].Store(kInCS, site);
+      return;
+    }
+    // Crashed mid-acquisition: reset the lock for everyone (the epoch
+    // bump is what makes each failure cost the system O(1) per passage)
+    // and abandon our queue node.
+    BumpEpoch();
+    nodeseq_[pid].FetchAdd(1, site);
+  } else if (st == kLeaving) {
+    DoExit(pid);
+  }
+}
+
+void GrAdaptiveLock::Enter(int pid) {
+  const char* site = site_.c_str();
+  if (state_[pid].Load(site) == kFree) {
+    state_[pid].Store(kTrying, site);
+  }
+  if (state_[pid].Load(site) == kTrying) {
+    // Queue up; abandon and retry whenever the epoch moves under us.
+    for (;;) {
+      const uint64_t e = epoch_.Load(site);
+      const uint64_t seq = nodeseq_[pid].FetchAdd(1, site) + 1;
+      QNode* mine = NodeFor(pid, seq);
+      mine->next.Store(nullptr, site);
+      mine->locked.Store(1, site);
+      QNode* pred = tails_[e % kInstances].Exchange(mine, site);
+      bool abandoned = false;
+      if (pred != nullptr) {
+        pred->next.CompareExchange(nullptr, mine, site);
+        if (pred->next.Load(site) == mine) {
+          uint64_t iter = 0;
+          while (mine->locked.Load(site) != 0) {
+            SpinPause(iter++);
+            // Remote under DSM; the CC-model caveat in the header.
+            if ((iter & 0x3f) == 0 && epoch_.Load(site) != e) {
+              abandoned = true;
+              break;
+            }
+          }
+        }
+      }
+      if (abandoned) continue;
+      myepoch_[pid].Store(e, site);
+      myseq_[pid].Store(seq, site);
+      break;
+    }
+    // The owner gate is the actual lock: queue corruption after crashes
+    // can at worst send several processes here concurrently.
+    uint64_t iter = 0;
+    while (!owner_.CompareExchange(0, static_cast<uint64_t>(pid) + 1, site)) {
+      while (owner_.Load(site) != 0) SpinPause(iter++);
+    }
+    state_[pid].Store(kInCS, site);
+  }
+}
+
+void GrAdaptiveLock::Exit(int pid) { DoExit(pid); }
+
+void GrAdaptiveLock::DoExit(int pid) {
+  const char* site = site_.c_str();
+  state_[pid].Store(kLeaving, site);
+  owner_.CompareExchange(static_cast<uint64_t>(pid) + 1, 0, site);
+  // Leave the queue wait-free (WrLock-style sealed next).
+  const uint64_t e = myepoch_[pid].Load(site);
+  const uint64_t seq = myseq_[pid].Load(site);
+  QNode* mine = NodeFor(pid, seq);
+  tails_[e % kInstances].CompareExchange(mine, nullptr, site);
+  mine->next.CompareExchange(nullptr, mine, site);
+  QNode* next = mine->next.Load(site);
+  if (next != mine) {
+    next->locked.Store(0, site);
+  }
+  state_[pid].Store(kFree, site);
+}
+
+}  // namespace rme

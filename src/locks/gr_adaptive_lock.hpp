@@ -1,0 +1,66 @@
+// GrAdaptiveLock: baseline reproducing the behaviour of Golab &
+// Ramaraju's first transformation (§4.1 of their paper; Table 1 row 1):
+// O(1) RMR failure-free, O(F) with F failures, unbounded as failures
+// grow. See DESIGN.md substitution #4.
+//
+// Construction: an MCS queue funnels contenders toward a single `owner`
+// gate that alone decides CS entry (so mutual exclusion never depends on
+// queue integrity). A crash during acquisition "resets" the lock by
+// bumping an epoch: queued processes notice the bump in their spin loop,
+// abandon the dead queue instance and retry in the next one. Each
+// failure therefore costs every concurrently active passage O(1) extra
+// RMRs — the O(F) adaptive-unbounded profile.
+//
+// Caveats (documented in EXPERIMENTS.md): the epoch check inside the
+// queue spin is remote under DSM, so like the original the RMR claims
+// are for the CC model; abandoned queue nodes are recycled from a large
+// per-process ring, which perturbs fairness (never safety — the owner
+// gate is authoritative) if a stale signal lands on a recycled node.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "locks/lock.hpp"
+#include "locks/qnode.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class GrAdaptiveLock final : public RecoverableLock {
+ public:
+  explicit GrAdaptiveLock(int num_procs, std::string label = "gr-adaptive");
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "gr-adaptive"; }
+
+  uint64_t EpochRaw() const { return epoch_.RawLoad(); }
+
+ private:
+  enum State : uint64_t { kFree = 0, kTrying = 1, kInCS = 2, kLeaving = 3 };
+  static constexpr int kInstances = 8;    ///< epoch ring
+  static constexpr int kNodesPerProc = 1024;  ///< node recycling ring
+
+  QNode* NodeFor(int pid, uint64_t seq);
+  void BumpEpoch();
+  void DoExit(int pid);
+
+  int n_;
+  std::string label_;
+  std::string site_;
+
+  rmr::Atomic<uint64_t> owner_{0};  ///< pid+1 of the CS holder; the lock
+  rmr::Atomic<uint64_t> epoch_{0};
+  rmr::Atomic<QNode*> tails_[kInstances];
+
+  rmr::Atomic<uint64_t> state_[kMaxProcs];
+  rmr::Atomic<uint64_t> nodeseq_[kMaxProcs];
+  rmr::Atomic<uint64_t> myepoch_[kMaxProcs];
+  rmr::Atomic<uint64_t> myseq_[kMaxProcs];
+
+  std::unique_ptr<QNode[]> nodes_;  ///< n * kNodesPerProc ring storage
+};
+
+}  // namespace rme

@@ -1,0 +1,133 @@
+#include "locks/gr_semi_lock.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+GrSemiLock::GrSemiLock(int num_procs, std::string label)
+    : n_(num_procs), label_(std::move(label)),
+      slow_(num_procs, label_ + ".slow") {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  site_ = label_ + ".op";
+  nodes_ = std::make_unique<QNode[]>(static_cast<size_t>(n_) * kNodesPerProc);
+  for (int pid = 0; pid < n_; ++pid) {
+    for (int j = 0; j < kNodesPerProc; ++j) {
+      nodes_[static_cast<size_t>(pid) * kNodesPerProc + j].SetHome(pid);
+    }
+    state_[pid].set_home(pid);
+    nodeseq_[pid].set_home(pid);
+    myepoch_[pid].set_home(pid);
+    myseq_[pid].set_home(pid);
+    diverted_[pid].set_home(pid);
+  }
+}
+
+QNode* GrSemiLock::NodeFor(int pid, uint64_t seq) {
+  return &nodes_[static_cast<size_t>(pid) * kNodesPerProc +
+                 static_cast<size_t>(seq % kNodesPerProc)];
+}
+
+void GrSemiLock::BumpEpoch() {
+  const char* site = site_.c_str();
+  const uint64_t e = epoch_.Load(site);
+  tails_[(e + 1) % kInstances].Store(nullptr, site);
+  epoch_.CompareExchange(e, e + 1, site);
+}
+
+void GrSemiLock::ResetScan(int pid) {
+  // The Θ(n) abort-and-reset bill of the transformation: touch every
+  // process's slot (in the original this repairs the aborted base lock).
+  const char* site = site_.c_str();
+  for (int j = 0; j < n_; ++j) {
+    (void)reset_slot_[j].Load(site);
+  }
+  (void)pid;
+}
+
+void GrSemiLock::Recover(int pid) {
+  const char* site = site_.c_str();
+  const uint64_t st = state_[pid].Load(site);
+  if (st == kTrying) {
+    if (owner_.Load(site) == static_cast<uint64_t>(pid) + 1) {
+      state_[pid].Store(kInCS, site);
+      return;
+    }
+    BumpEpoch();
+    nodeseq_[pid].FetchAdd(1, site);
+    diverted_[pid].Store(1, site);  // this passage witnessed a failure
+  } else if (st == kLeaving) {
+    DoExit(pid);
+  }
+}
+
+void GrSemiLock::Enter(int pid) {
+  const char* site = site_.c_str();
+  if (state_[pid].Load(site) == kFree) {
+    diverted_[pid].Store(0, site);
+    state_[pid].Store(kTrying, site);
+  }
+  if (state_[pid].Load(site) == kTrying) {
+    if (diverted_[pid].Load(site) == 0) {
+      // One fast-path attempt; an epoch bump while queued diverts us.
+      const uint64_t e = epoch_.Load(site);
+      const uint64_t seq = nodeseq_[pid].FetchAdd(1, site) + 1;
+      QNode* mine = NodeFor(pid, seq);
+      mine->next.Store(nullptr, site);
+      mine->locked.Store(1, site);
+      QNode* pred = tails_[e % kInstances].Exchange(mine, site);
+      if (pred != nullptr) {
+        pred->next.CompareExchange(nullptr, mine, site);
+        if (pred->next.Load(site) == mine) {
+          uint64_t iter = 0;
+          while (mine->locked.Load(site) != 0) {
+            SpinPause(iter++);
+            if ((iter & 0x3f) == 0 && epoch_.Load(site) != e) {
+              diverted_[pid].Store(1, site);
+              break;
+            }
+          }
+        }
+      }
+      if (diverted_[pid].Load(site) == 0) {
+        myepoch_[pid].Store(e, site);
+        myseq_[pid].Store(seq, site);
+      }
+    }
+    if (diverted_[pid].Load(site) != 0) {
+      // Pay the abort/reset bill, then take the bounded slow path.
+      ResetScan(pid);
+      slow_.Recover(pid);
+      slow_.Enter(pid);
+    }
+    uint64_t iter = 0;
+    while (!owner_.CompareExchange(0, static_cast<uint64_t>(pid) + 1, site)) {
+      while (owner_.Load(site) != 0) SpinPause(iter++);
+    }
+    state_[pid].Store(kInCS, site);
+  }
+}
+
+void GrSemiLock::Exit(int pid) { DoExit(pid); }
+
+void GrSemiLock::DoExit(int pid) {
+  const char* site = site_.c_str();
+  state_[pid].Store(kLeaving, site);
+  owner_.CompareExchange(static_cast<uint64_t>(pid) + 1, 0, site);
+  if (diverted_[pid].Load(site) != 0) {
+    slow_.Exit(pid);
+  } else {
+    const uint64_t e = myepoch_[pid].Load(site);
+    const uint64_t seq = myseq_[pid].Load(site);
+    QNode* mine = NodeFor(pid, seq);
+    tails_[e % kInstances].CompareExchange(mine, nullptr, site);
+    mine->next.CompareExchange(nullptr, mine, site);
+    QNode* next = mine->next.Load(site);
+    if (next != mine) {
+      next->locked.Store(0, site);
+    }
+  }
+  state_[pid].Store(kFree, site);
+}
+
+}  // namespace rme

@@ -1,0 +1,64 @@
+// GrSemiLock: baseline reproducing the behaviour of Golab & Ramaraju's
+// second transformation (§4.2 of their paper; Table 1 row 2): O(1) RMR
+// failure-free, Θ(n) as soon as any failure is witnessed, bounded O(n)
+// under arbitrarily many failures. See DESIGN.md substitution #5.
+//
+// Fast path: MCS queue + owner gate with an epoch reset, exactly as
+// GrAdaptiveLock. The difference is what happens on failure: a passage
+// that witnesses one (its own crash, or an epoch bump while queued) pays
+// the transformation's abort-and-reset bill — an Θ(n) scan over all
+// process slots — and then diverts to a bounded strongly recoverable
+// tournament, capping the passage at O(n) no matter how many further
+// failures occur.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "locks/lock.hpp"
+#include "locks/qnode.hpp"
+#include "locks/tree_lock.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class GrSemiLock final : public RecoverableLock {
+ public:
+  explicit GrSemiLock(int num_procs, std::string label = "gr-semi");
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "gr-semi"; }
+
+ private:
+  enum State : uint64_t { kFree = 0, kTrying = 1, kInCS = 2, kLeaving = 3 };
+  static constexpr int kInstances = 8;
+  static constexpr int kNodesPerProc = 1024;
+
+  QNode* NodeFor(int pid, uint64_t seq);
+  void BumpEpoch();
+  void ResetScan(int pid);
+  void DoExit(int pid);
+
+  int n_;
+  std::string label_;
+  std::string site_;
+
+  rmr::Atomic<uint64_t> owner_{0};
+  rmr::Atomic<uint64_t> epoch_{0};
+  rmr::Atomic<QNode*> tails_[kInstances];
+
+  rmr::Atomic<uint64_t> state_[kMaxProcs];
+  rmr::Atomic<uint64_t> nodeseq_[kMaxProcs];
+  rmr::Atomic<uint64_t> myepoch_[kMaxProcs];
+  rmr::Atomic<uint64_t> myseq_[kMaxProcs];
+  rmr::Atomic<uint64_t> diverted_[kMaxProcs];
+  /// Per-process reset slots; the Θ(n) abort/reset scan walks all of them.
+  rmr::Atomic<uint64_t> reset_slot_[kMaxProcs];
+
+  TournamentLock slow_;
+  std::unique_ptr<QNode[]> nodes_;
+};
+
+}  // namespace rme

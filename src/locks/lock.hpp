@@ -1,0 +1,60 @@
+// The recoverable-lock interface (the paper's Recover/Enter/Exit model).
+//
+// A process executes, per Algorithm 1:
+//
+//   loop { NCS; Recover(); Enter(); CS; Exit(); }
+//
+// and may crash (ProcessCrash unwinds) at any shared-memory operation in
+// Recover/Enter/CS/Exit. On restart it re-enters the loop at NCS. Locks
+// keep ALL per-request persistent state in rmr::Atomic shared variables;
+// anything in function locals is legitimately lost on a crash.
+#pragma once
+
+#include <string>
+
+namespace rme {
+
+class RecoverableLock {
+ public:
+  virtual ~RecoverableLock() = default;
+
+  /// Cleanup after possible past failures; must satisfy Bounded Recovery.
+  virtual void Recover(int pid) = 0;
+
+  /// Acquire. May busy-wait (locally, under the DSM model).
+  virtual void Enter(int pid) = 0;
+
+  /// Release; must satisfy Bounded Exit.
+  virtual void Exit(int pid) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True if the lock guarantees the strong ME property (never violated);
+  /// weakly recoverable locks return false and the ME checker admits
+  /// violations that overlap failure consequence intervals.
+  virtual bool IsStronglyRecoverable() const { return true; }
+
+  /// True if a crash at (site, after_op) is an *unsafe* failure for this
+  /// lock, i.e. it hit a sensitive instruction (Def 3.3/3.4). Composite
+  /// locks delegate to their weakly recoverable components (Def 3.6).
+  virtual bool IsSensitiveSite(const std::string& /*site*/,
+                               bool /*after_op*/) const {
+    return false;
+  }
+
+  /// Free-form per-lock statistics for bench output (paths, levels, ...).
+  virtual std::string StatsString() const { return {}; }
+
+  /// Depth/level diagnostic for the just-finished passage of `pid`
+  /// (BaLock reports the deepest level reached; others report 0).
+  virtual int LastPathDepth(int /*pid*/) const { return 0; }
+
+  /// Called by the harness when `pid` stops issuing requests for good
+  /// (graceful end of a finite run). The paper's model has processes
+  /// request forever; finite experiments need this so that resources the
+  /// process would have released on its next request (e.g. its reclaimer
+  /// slot) are released now and no other process waits on it.
+  virtual void OnProcessDone(int /*pid*/) {}
+};
+
+}  // namespace rme

@@ -1,0 +1,41 @@
+#include "locks/mcs_lock.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+McsLock::McsLock(int num_procs) : n_(num_procs) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  for (int i = 0; i < n_; ++i) {
+    nodes_[i].SetHome(i);
+  }
+}
+
+void McsLock::Enter(int pid) {
+  QNode* mine = &nodes_[pid];
+  mine->next.Store(nullptr, "mcs.init.next");
+  mine->locked.Store(1, "mcs.init.locked");
+  QNode* pred = tail_.Exchange(mine, "mcs.tail.fas");
+  if (pred != nullptr) {
+    pred->next.Store(mine, "mcs.link");
+    uint64_t iter = 0;
+    while (mine->locked.Load("mcs.spin") != 0) SpinPause(iter++);
+  }
+}
+
+void McsLock::Exit(int pid) {
+  QNode* mine = &nodes_[pid];
+  if (!tail_.CompareExchange(mine, nullptr, "mcs.tail.cas")) {
+    // Queue is non-empty: a successor has performed (or will perform) the
+    // FAS; wait for its link, then hand the lock over.
+    uint64_t iter = 0;
+    QNode* next = nullptr;
+    while ((next = mine->next.Load("mcs.exit.next")) == nullptr) {
+      SpinPause(iter++);
+    }
+    next->locked.Store(0, "mcs.signal");
+  }
+}
+
+}  // namespace rme

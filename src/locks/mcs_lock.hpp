@@ -1,0 +1,35 @@
+// The classic MCS queue lock (Mellor-Crummey & Scott 1991): the paper's
+// §4.1 starting point and our non-recoverable baseline. O(1) RMR per
+// passage under both CC and DSM.
+//
+// This is the original blocking-exit formulation (the exiting process
+// waits for its successor's link), which makes immediate node reuse safe
+// and needs no reclaimer. The wait-free-exit extension (§4.2) appears in
+// WrLock, where it is required and where Algorithm 4 handles reuse.
+//
+// Not crash-safe: Recover() is a no-op and crash injection must be off
+// when benchmarking it (it exists to calibrate the failure-free columns).
+#pragma once
+
+#include "locks/lock.hpp"
+#include "locks/qnode.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class McsLock final : public RecoverableLock {
+ public:
+  explicit McsLock(int num_procs);
+
+  void Recover(int /*pid*/) override {}
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "mcs"; }
+
+ private:
+  int n_;
+  rmr::Atomic<QNode*> tail_{nullptr};
+  QNode nodes_[kMaxProcs];
+};
+
+}  // namespace rme

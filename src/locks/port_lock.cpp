@@ -1,0 +1,149 @@
+#include "locks/port_lock.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+PortLock::PortLock(int num_ports, int num_procs, std::string label)
+    : k_(num_ports), n_(num_procs), label_(std::move(label)) {
+  RME_CHECK(num_ports > 0 && num_ports <= kMaxProcs);
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  site_ = label_ + ".op";
+  slot_ = std::make_unique<rmr::Atomic<uint64_t>[]>(static_cast<size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    slot_[j].RawStore(Available(static_cast<uint64_t>(j)));
+  }
+  for (int i = 0; i < kMaxProcs; ++i) {
+    pticket_[i].RawStore(kNoTicket);
+    spin_[i].set_home(i);
+  }
+}
+
+void PortLock::Recover(int port, int pid) {
+  const char* site = site_.c_str();
+  const uint64_t st = pstate_[port].Load(site);
+  if (st == kClaiming && pticket_[port].Load(site) == kNoTicket) {
+    // We may have crashed between claiming a slot and persisting the
+    // ticket. Scan the ring for a slot claimed by our port and adopt it;
+    // at most one can exist (one request per port at a time). This O(k)
+    // scan runs only on post-crash recovery.
+    for (int j = 0; j < k_; ++j) {
+      const uint64_t v = slot_[j].Load(site);
+      if (IsClaimed(v) && PortOf(v) == port) {
+        pticket_[port].Store(TicketOf(v), site);
+        break;
+      }
+    }
+  } else if (st == kLeaving) {
+    DoExit(port, pid);  // finish the interrupted Exit
+  }
+}
+
+uint64_t PortLock::ClaimTicket(int port) {
+  const char* site = site_.c_str();
+  for (;;) {
+    const uint64_t t = tail_.Load(site);
+    const int j = static_cast<int>(t % static_cast<uint64_t>(k_));
+    if (slot_[j].CompareExchange(Available(t), Claimed(t, port), site)) {
+      tail_.CompareExchange(t, t + 1, site);  // help advance (idempotent)
+      return t;
+    }
+    const uint64_t v = slot_[j].Load(site);
+    if (IsClaimed(v) && TicketOf(v) == t) {
+      // Someone claimed ticket t but hasn't advanced tail: help.
+      tail_.CompareExchange(t, t + 1, site);
+    } else if (!IsClaimed(v) && TicketOf(v) > t) {
+      // Ticket t was already released (slot is available for t+k): the
+      // tail we read is stale relative to completed work; help it past.
+      tail_.CompareExchange(t, t + 1, site);
+    }
+    // Otherwise our read of tail was stale; reload and retry.
+  }
+}
+
+void PortLock::Enter(int port, int pid) {
+  const char* site = site_.c_str();
+  RME_DCHECK(port >= 0 && port < k_);
+
+  if (pstate_[port].Load(site) == kFree) {
+    claimpid_[port].Store(static_cast<uint64_t>(pid) + 1, site);
+    pticket_[port].Store(kNoTicket, site);
+    pstate_[port].Store(kClaiming, site);
+  }
+
+  if (pstate_[port].Load(site) == kClaiming) {
+    if (pticket_[port].Load(site) == kNoTicket) {
+      const uint64_t t = ClaimTicket(port);
+      pticket_[port].Store(t, site);
+    }
+    pstate_[port].Store(kWaiting, site);
+  }
+
+  if (pstate_[port].Load(site) == kWaiting) {
+    const uint64_t t = pticket_[port].Load(site);
+    uint64_t iter = 0;
+    while (head_.Load(site) < t) {
+      // Arm the local wake flag, close the lost-wakeup window, then spin
+      // locally until our predecessor's release wakes us.
+      spin_[pid].Store(0, site);
+      if (head_.Load(site) >= t) break;
+      while (spin_[pid].Load(site) == 0) SpinPause(iter++);
+    }
+    pstate_[port].Store(kInCS, site);
+  }
+  // pstate == kInCS: bounded re-entry (BCSR).
+}
+
+void PortLock::Exit(int port, int pid) {
+  const char* site = site_.c_str();
+  const uint64_t st = pstate_[port].Load(site);
+  const uint64_t claim = claimpid_[port].Load(site);
+  if (st == kLeaving) {
+    // Resume an interrupted exit; claim == 0 covers a crash between
+    // clearing the claim and freeing the port (only the owner can be
+    // here while the port is mid-exit).
+    if (claim == static_cast<uint64_t>(pid) + 1 || claim == 0) {
+      DoExit(port, pid);
+    }
+    return;
+  }
+  if (st == kInCS && claim == static_cast<uint64_t>(pid) + 1) {
+    DoExit(port, pid);
+  }
+  // Otherwise this exit already completed (idempotent re-run): no-op.
+}
+
+void PortLock::DoExit(int port, int pid) {
+  const char* site = site_.c_str();
+  pstate_[port].Store(kLeaving, site);
+  const uint64_t t = pticket_[port].Load(site);
+  RME_CHECK_MSG(t != kNoTicket, "Exit without a ticket");
+  const int j = static_cast<int>(t % static_cast<uint64_t>(k_));
+  // Free the slot for ticket t+k; exact-value CAS makes re-runs no-ops.
+  slot_[j].CompareExchange(Claimed(t, port), Available(t + k_), site);
+  head_.CompareExchange(t, t + 1, site);
+  tail_.CompareExchange(t, t + 1, site);  // keep tail >= head even if no
+                                          // claimant ever helped
+  WakeSuccessor(t);
+  claimpid_[port].Store(0, site);
+  pstate_[port].Store(kFree, site);
+  // pticket is cleared by the next request's Free->Claiming transition;
+  // keeping it lets a crashed Exit re-run find its ticket.
+  (void)pid;
+}
+
+void PortLock::WakeSuccessor(uint64_t released_ticket) {
+  const char* site = site_.c_str();
+  const uint64_t succ = released_ticket + 1;
+  const int j = static_cast<int>(succ % static_cast<uint64_t>(k_));
+  const uint64_t v = slot_[j].Load(site);
+  if (IsClaimed(v) && TicketOf(v) == succ) {
+    const uint64_t claim = claimpid_[PortOf(v)].Load(site);
+    if (claim != 0) {
+      spin_[claim - 1].Store(1, site);
+    }
+  }
+}
+
+}  // namespace rme

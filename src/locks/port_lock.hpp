@@ -1,0 +1,92 @@
+// PortLock: a k-port strongly recoverable lock with O(1) uncontended RMR
+// cost, used as the per-node lock of the k-ary arbitration tree
+// (KPortTreeLock — our stand-in for the Jayanti–Jayanti–Joshi base lock,
+// see DESIGN.md substitution #3) and, with k = n and port = pid, as the
+// Chan–Woelfel-style ticket baseline (TicketRLock).
+//
+// Each of the k ports is used by at most one process at a time (in the
+// tree, a process holds the child node's lock, making it the unique
+// representative of that port). Requests are serialized by tickets in a
+// bounded ring of k slots:
+//
+//   slot[t % k] transitions  available(t)  --CAS-->  claimed(t, port)
+//                            claimed(t, port) --CAS--> available(t + k)
+//
+// Ticket claiming is crash-recoverable WITHOUT making FAS-loss a
+// sensitive window: a ticket is taken by CAS-ing the claimant's port id
+// into the slot, so if the process crashes before persisting its ticket,
+// recovery scans the k slots for its port id and adopts the orphan
+// (an O(k) cost paid only after a crash — the failure-free path is O(1)).
+// `tail`/`head` advances use exact-value CAS and are help-advanced by
+// everyone, so they are idempotent and never lost.
+//
+// Waiting is ticket-FIFO: a process spins on its own per-process wake
+// flag (local under DSM); each release wakes exactly its successor.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class PortLock {
+ public:
+  /// `num_ports` <= 64; `num_procs` bounds the wake-flag array.
+  PortLock(int num_ports, int num_procs, std::string label = "port");
+
+  PortLock(const PortLock&) = delete;
+  PortLock& operator=(const PortLock&) = delete;
+
+  void Recover(int port, int pid);
+  void Enter(int port, int pid);
+  void Exit(int port, int pid);
+
+  int num_ports() const { return k_; }
+
+  /// Test hooks.
+  uint64_t HeadTicket() const { return head_.RawLoad(); }
+  uint64_t TailTicket() const { return tail_.RawLoad(); }
+
+ private:
+  enum State : uint64_t {
+    kFree = 0,
+    kClaiming = 1,
+    kWaiting = 2,
+    kInCS = 3,
+    kLeaving = 4,
+  };
+  static constexpr uint64_t kNoTicket = ~0ULL;
+
+  // Slot encoding: bit 8 = "available"; low 8 bits = port+1 when claimed;
+  // bits 9.. = ticket.
+  static uint64_t Available(uint64_t t) { return (t << 9) | 0x100; }
+  static uint64_t Claimed(uint64_t t, int port) {
+    return (t << 9) | static_cast<uint64_t>(port + 1);
+  }
+  static bool IsClaimed(uint64_t v) { return (v & 0x100) == 0; }
+  static uint64_t TicketOf(uint64_t v) { return v >> 9; }
+  static int PortOf(uint64_t v) { return static_cast<int>(v & 0xff) - 1; }
+
+  uint64_t ClaimTicket(int port);
+  void DoExit(int port, int pid);
+  void WakeSuccessor(uint64_t released_ticket);
+
+  int k_;
+  int n_;
+  std::string label_;
+  std::string site_;
+
+  rmr::Atomic<uint64_t> head_{0};
+  rmr::Atomic<uint64_t> tail_{0};
+  std::unique_ptr<rmr::Atomic<uint64_t>[]> slot_;
+
+  rmr::Atomic<uint64_t> pstate_[kMaxProcs];
+  rmr::Atomic<uint64_t> pticket_[kMaxProcs];
+  rmr::Atomic<uint64_t> claimpid_[kMaxProcs];
+
+  rmr::Atomic<uint64_t> spin_[kMaxProcs];  ///< wake flags, homed per pid
+};
+
+}  // namespace rme

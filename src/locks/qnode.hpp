@@ -1,0 +1,31 @@
+// The MCS queue node shared by the queue-based locks (Section 4).
+#pragma once
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+/// One request's node in an MCS-style queue. Lives in simulated NVRAM
+/// (fields are instrumented atomics) inside a per-process pool; under the
+/// DSM model both fields are homed at the owning process, so the owner's
+/// spin on `locked` is local.
+struct QNode {
+  /// Reference to the successor node. Written at most once per use: either
+  /// the successor links itself (CAS null -> successor) or the exiting
+  /// owner seals it (CAS null -> this, the wait-free-exit sentinel).
+  rmr::Atomic<QNode*> next{nullptr};
+
+  /// Spin location: true while the owner must wait for its predecessor.
+  rmr::Atomic<uint64_t> locked{0};
+
+  /// Owning process (diagnostics + DSM homing); fixed at pool creation.
+  int owner = -1;
+
+  void SetHome(int pid) {
+    owner = pid;
+    next.set_home(pid);
+    locked.set_home(pid);
+  }
+};
+
+}  // namespace rme

@@ -1,0 +1,48 @@
+// The splitter (§5.1): a biased, strongly recoverable try-lock guarding
+// the fast path. Implemented, as in the paper, with a single integer and
+// one CAS: the fast path is occupied iff `owner` is non-zero, and then
+// holds the occupant's pid+1 — which is also what makes it recoverable
+// (a crashed fast-path process finds its own id and retakes the path).
+#pragma once
+
+#include <string>
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class Splitter {
+ public:
+  explicit Splitter(std::string label = "split") : label_(std::move(label)) {
+    site_ = label_ + ".op";
+  }
+
+  Splitter(const Splitter&) = delete;
+  Splitter& operator=(const Splitter&) = delete;
+
+  /// One attempt to occupy the fast path (idempotent: re-running after a
+  /// crash re-CASes and then re-reads). Returns true iff `pid` holds it.
+  bool TryFastPath(int pid) {
+    const char* site = site_.c_str();
+    owner_.CompareExchange(0, static_cast<uint64_t>(pid) + 1, site);
+    return owner_.Load(site) == static_cast<uint64_t>(pid) + 1;
+  }
+
+  /// True iff `pid` currently occupies the fast path.
+  bool Occupies(int pid) {
+    return owner_.Load(site_.c_str()) == static_cast<uint64_t>(pid) + 1;
+  }
+
+  /// Vacate the fast path (only the occupant calls this; blind store is
+  /// idempotent across crashes).
+  void Release(int /*pid*/) { owner_.Store(0, site_.c_str()); }
+
+  uint64_t OwnerRaw() const { return owner_.RawLoad(); }
+
+ private:
+  std::string label_;
+  std::string site_;
+  rmr::Atomic<uint64_t> owner_{0};
+};
+
+}  // namespace rme

@@ -1,0 +1,4 @@
+#include "locks/ticket_rlock.hpp"
+
+// Header-only wrapper around PortLock; this translation unit anchors the
+// class for the library target.

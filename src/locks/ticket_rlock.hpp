@@ -1,0 +1,33 @@
+// TicketRLock: a recoverable ticket lock in the spirit of Chan &
+// Woelfel's infinite-array lock (Table 1 row: O(1) amortized, O(F) per
+// passage, unbounded worst case). See DESIGN.md substitution #6.
+//
+// Realized as a single PortLock with one port per process: a passage
+// CAS-claims the next ticket cell (O(1) uncontended, amortized O(1)
+// under contention), waits FIFO on a local spin flag, and recovery after
+// a crash in the claim window scans the ring — the per-failure cost that
+// yields the O(F) middle column.
+#pragma once
+
+#include <string>
+
+#include "locks/lock.hpp"
+#include "locks/port_lock.hpp"
+
+namespace rme {
+
+class TicketRLock final : public RecoverableLock {
+ public:
+  explicit TicketRLock(int num_procs, std::string label = "cw-ticket")
+      : inner_(num_procs, num_procs, std::move(label)) {}
+
+  void Recover(int pid) override { inner_.Recover(pid, pid); }
+  void Enter(int pid) override { inner_.Enter(pid, pid); }
+  void Exit(int pid) override { inner_.Exit(pid, pid); }
+  std::string name() const override { return "cw-ticket"; }
+
+ private:
+  PortLock inner_;
+};
+
+}  // namespace rme

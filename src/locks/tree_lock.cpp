@@ -1,0 +1,89 @@
+#include "locks/tree_lock.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+namespace {
+// ceil(log_k(n)), at least 1.
+int DepthFor(int n, int k) {
+  int depth = 1;
+  long long span = k;
+  while (span < n) {
+    span *= k;
+    ++depth;
+  }
+  return depth;
+}
+
+// k^e as int (small exponents only).
+long long IPow(int k, int e) {
+  long long r = 1;
+  for (int i = 0; i < e; ++i) r *= k;
+  return r;
+}
+}  // namespace
+
+TreeLock::TreeLock(int num_procs, int arity, std::string label)
+    : n_(num_procs), k_(arity), label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  RME_CHECK(arity >= 2 && arity <= kMaxProcs);
+  depth_ = DepthFor(n_, k_);
+  nodes_.resize(static_cast<size_t>(depth_));
+  for (int level = 0; level < depth_; ++level) {
+    const long long group = IPow(k_, level + 1);
+    const int count = static_cast<int>((n_ + group - 1) / group);
+    nodes_[level].reserve(static_cast<size_t>(count));
+    for (int idx = 0; idx < count; ++idx) {
+      nodes_[level].push_back(std::make_unique<PortLock>(
+          k_, n_, label_ + ".L" + std::to_string(level) + "." +
+                      std::to_string(idx)));
+    }
+  }
+}
+
+std::string TreeLock::name() const {
+  return "tree-k" + std::to_string(k_);
+}
+
+PortLock& TreeLock::NodeAt(int level, int pid) {
+  const long long group = IPow(k_, level + 1);
+  return *nodes_[static_cast<size_t>(level)]
+                [static_cast<size_t>(pid / group)];
+}
+
+int TreeLock::PortAt(int level, int pid) const {
+  return static_cast<int>((pid / IPow(k_, level)) % k_);
+}
+
+void TreeLock::Recover(int /*pid*/) {
+  // Per-node recovery runs just before each node's Enter (mirroring the
+  // framework's convention, Algorithm 3): nothing to do globally.
+}
+
+void TreeLock::Enter(int pid) {
+  for (int level = 0; level < depth_; ++level) {
+    PortLock& node = NodeAt(level, pid);
+    const int port = PortAt(level, pid);
+    node.Recover(port, pid);
+    node.Enter(port, pid);
+  }
+}
+
+void TreeLock::Exit(int pid) {
+  // Root-first: once a node is released, contenders it admits are from
+  // other subtrees of that node and never reach the ports we still hold.
+  for (int level = depth_ - 1; level >= 0; --level) {
+    NodeAt(level, pid).Exit(PortAt(level, pid), pid);
+  }
+}
+
+int KPortTreeLock::AutoArity(int num_procs) {
+  int k = 2;
+  while ((1 << k) < num_procs) ++k;  // k = ceil(log2 n), min 2
+  return k;
+}
+
+}  // namespace rme

@@ -1,0 +1,74 @@
+// Arbitration-tree locks: n processes are arranged at the leaves of a
+// k-ary tree whose every node is a strongly recoverable k-port PortLock;
+// a process acquires the port corresponding to the child subtree it
+// arrives from, level by level, until it holds the root. Holding the
+// child's lock makes it the unique representative of that port, so each
+// port sees at most one process at a time — PortLock's contract.
+//
+//  - TournamentLock (k = 2) is the classic recoverable tournament in the
+//    Golab–Ramaraju / Jayanti–Joshi O(log n) class: bounded,
+//    non-adaptive, strongly recoverable.
+//  - KPortTreeLock (k ~ log2 n) has depth ~ log n / log log n with O(1)
+//    uncontended work per node: the stand-in for the Jayanti–Jayanti–
+//    Joshi base lock (DESIGN.md substitution #3).
+//
+// Recoverability: every per-node acquire/release is idempotent through
+// PortLock's per-port state machine, so Enter/Exit simply re-walk the
+// whole path after a crash; already-held nodes fall through in O(1) and
+// a partially exited node resumes. Exits run root-first so a subtree
+// peer can never reach a port we still occupy.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locks/lock.hpp"
+#include "locks/port_lock.hpp"
+
+namespace rme {
+
+class TreeLock : public RecoverableLock {
+ public:
+  /// `arity` >= 2. The tree has ceil(log_arity(n)) levels (min 1).
+  TreeLock(int num_procs, int arity, std::string label = "tree");
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override;
+
+  int depth() const { return depth_; }
+  int arity() const { return k_; }
+
+ private:
+  PortLock& NodeAt(int level, int pid);
+  int PortAt(int level, int pid) const;
+
+  int n_;
+  int k_;
+  int depth_;
+  std::string label_;
+  /// nodes_[level][index]; level 0 = leaves.
+  std::vector<std::vector<std::unique_ptr<PortLock>>> nodes_;
+};
+
+/// Binary recoverable tournament: O(log n) RMR in all regimes.
+class TournamentLock final : public TreeLock {
+ public:
+  explicit TournamentLock(int num_procs, std::string label = "tournament")
+      : TreeLock(num_procs, 2, std::move(label)) {}
+  std::string name() const override { return "tournament"; }
+};
+
+/// k-ary tree with k ~ log2(n): ~log n / log log n RMR failure-free.
+class KPortTreeLock final : public TreeLock {
+ public:
+  explicit KPortTreeLock(int num_procs, std::string label = "kport-tree")
+      : TreeLock(num_procs, AutoArity(num_procs), std::move(label)) {}
+  std::string name() const override { return "kport-tree"; }
+
+  static int AutoArity(int num_procs);
+};
+
+}  // namespace rme

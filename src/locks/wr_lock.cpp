@@ -1,0 +1,152 @@
+#include "locks/wr_lock.hpp"
+
+#include <set>
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+WrLock::WrLock(int num_procs, std::string label)
+    : n_(num_procs), label_(std::move(label)),
+      reclaimer_(num_procs, label_ + ".reclaim") {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  site_fas_ = label_ + ".tail.fas";
+  site_pred_ = label_ + ".pred.persist";
+  site_other_ = label_ + ".op";
+  for (int i = 0; i < kMaxProcs; ++i) {
+    state_[i].set_home(i);
+    mine_[i].set_home(i);
+    pred_[i].set_home(i);
+    state_[i].RawStore(kFree);
+  }
+}
+
+bool WrLock::IsSensitiveSite(const std::string& site, bool after_op) const {
+  // The sensitive window is [FAS applied, predecessor persisted): a crash
+  // after the FAS or before the persisting store is unsafe (Def 3.4).
+  return (site == site_fas_ && after_op) || (site == site_pred_ && !after_op);
+}
+
+void WrLock::Recover(int pid) {
+  const char* site = site_other_.c_str();
+  const uint64_t s = state_[pid].Load(site);
+  if (s == kTrying) {
+    if (pred_[pid].Load(site) == mine_[pid].Load(site)) {
+      // Crashed at the sensitive FAS window: the node may or may not be
+      // in the queue and the predecessor is unknowable. Relinquish the
+      // node (wait-free signalling frees any successor) and retry fresh.
+      DoExit(pid);
+    }
+  } else if (s == kLeaving) {
+    DoExit(pid);  // finish the interrupted Exit segment
+  }
+
+  if (state_[pid].Load(site) == kFree) {
+    // Backup retire: covers a crash that hit the narrow window between
+    // Exit's state->Free store and its trailing RetireNode (idempotent).
+    reclaimer_.RetireNode(pid);
+    mine_[pid].Store(nullptr, site);
+    state_[pid].Store(kInitializing, site);
+  }
+}
+
+void WrLock::Enter(int pid) {
+  const char* site = site_other_.c_str();
+  if (state_[pid].Load(site) == kInitializing) {
+    if (mine_[pid].Load(site) == nullptr) {
+      // Idempotent across crashes: NewNode returns the same node until
+      // the next RetireNode.
+      QNode* fresh = reclaimer_.NewNode(pid);
+      mine_[pid].Store(fresh, site);
+    }
+    QNode* mine = mine_[pid].Load(site);
+    mine->next.Store(nullptr, site);
+    mine->locked.Store(1, site);
+    // pred == mine is the marker that the FAS has not yet completed.
+    pred_[pid].Store(mine, site);
+    state_[pid].Store(kTrying, site);
+  }
+
+  if (state_[pid].Load(site) == kTrying) {
+    QNode* mine = mine_[pid].Load(site);
+    if (pred_[pid].Load(site) == mine) {
+      // Append my node to the queue — the one SENSITIVE instruction: a
+      // crash between these two operations orphans the FAS result.
+      QNode* temp = tail_.Exchange(mine, site_fas_.c_str());
+      pred_[pid].Store(temp, site_pred_.c_str());
+    }
+    QNode* pred = pred_[pid].Load(site);
+    if (pred != nullptr) {
+      // Create the forward link; the CAS outcome is deliberately unused —
+      // we re-read the field, which makes re-execution after a crash
+      // indistinguishable from first execution.
+      pred->next.CompareExchange(nullptr, mine, site);
+      if (pred->next.Load(site) == mine) {
+        uint64_t iter = 0;
+        while (mine->locked.Load(site) != 0) SpinPause(iter++);
+      }
+      // else: the predecessor sealed its next field (wait-free exit) —
+      // the lock was handed to us without a signal.
+    }
+    state_[pid].Store(kInCS, site);
+  }
+}
+
+void WrLock::Exit(int pid) { DoExit(pid); }
+
+void WrLock::OnProcessDone(int pid) {
+  // Release the reclaimer slot this process would have retired at the
+  // start of its next request; epoch scans by other processes otherwise
+  // wait for it forever.
+  if (state_[pid].RawLoad() == kFree) {
+    reclaimer_.RetireNode(pid);
+  }
+}
+
+void WrLock::DoExit(int pid) {
+  const char* site = site_other_.c_str();
+  state_[pid].Store(kLeaving, site);
+  QNode* mine = mine_[pid].Load(site);
+  // Remove my node if it is the queue's last; ignore the outcome.
+  tail_.CompareExchange(mine, nullptr, site);
+  // Seal my next field with the self-sentinel; if a successor linked
+  // first this fails harmlessly, and re-running after a crash is a no-op
+  // either way.
+  mine->next.CompareExchange(nullptr, mine, site);
+  QNode* next = mine->next.Load(site);
+  if (next != mine) {
+    next->locked.Store(0, site);  // successor exists: release it
+  }
+  state_[pid].Store(kFree, site);
+  // Retire strictly AFTER the state turns Free: any crashed-Exit re-run
+  // happens from state Leaving, i.e. with the retire not yet performed,
+  // so the successor reference it re-signals cannot have been recycled.
+  // (A crash between the Free store and this retire is covered by the
+  // backup retire at the start of the next request's Recover.)
+  reclaimer_.RetireNode(pid);
+}
+
+int WrLock::CountSubQueues() const {
+  // Uninstrumented snapshot; intended for quiesced/deterministic tests.
+  std::set<const QNode*> active;
+  for (int i = 0; i < n_; ++i) {
+    const uint64_t s = state_[i].RawLoad();
+    if (s == kTrying || s == kInCS || s == kLeaving) {
+      const QNode* node = mine_[i].RawLoad();
+      if (node != nullptr) active.insert(node);
+    }
+  }
+  int roots = 0;
+  for (int i = 0; i < n_; ++i) {
+    const uint64_t s = state_[i].RawLoad();
+    if (s != kTrying && s != kInCS && s != kLeaving) continue;
+    const QNode* node = mine_[i].RawLoad();
+    const QNode* pred = pred_[i].RawLoad();
+    if (node == nullptr || pred == node) continue;  // not appended yet
+    if (pred == nullptr || active.find(pred) == active.end()) ++roots;
+  }
+  return roots;
+}
+
+}  // namespace rme

@@ -1,0 +1,83 @@
+// WR-Lock: the paper's weakly recoverable MCS lock with wait-free exit
+// (Section 4, Algorithm 2). O(1) RMR per passage in every failure regime,
+// under both CC and DSM.
+//
+// The single sensitive instruction is the FAS on `tail` (site
+// "<label>.tail.fas"): a crash immediately after it leaves the process's
+// node appended but the predecessor reference lost, splitting the queue
+// into sub-queues (Figure 1) and permitting a *temporary*, failure-scoped
+// violation of mutual exclusion — the defining trait of weak
+// recoverability. Every other instruction is idempotent by construction:
+//  - the per-process `state` variable gates if-blocks and only advances
+//    at the end of each block,
+//  - `next` fields are written once via CAS and re-read (the CAS result
+//    is never used),
+//  - the Exit sequence runs blindly and harmlessly re-runs after crashes.
+//
+// Queue nodes come from an Algorithm-4 epoch reclaimer, which returns the
+// same node until retirement (so a crash around allocation is benign) and
+// never recycles a node while any process could still reference it.
+#pragma once
+
+#include <string>
+
+#include "locks/lock.hpp"
+#include "locks/qnode.hpp"
+#include "reclaim/epoch_reclaimer.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class WrLock final : public RecoverableLock {
+ public:
+  /// `label` distinguishes instances (the recursive BA-Lock stacks one
+  /// filter per level); it prefixes crash-site names.
+  explicit WrLock(int num_procs, std::string label = "wr");
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "wr-lock"; }
+
+  bool IsStronglyRecoverable() const override { return false; }
+  bool IsSensitiveSite(const std::string& site, bool after_op) const override;
+  void OnProcessDone(int pid) override;
+
+  /// Per-process state (exposed for tests and the BCSR checker).
+  enum State : uint64_t {
+    kFree = 0,
+    kInitializing = 1,
+    kTrying = 2,
+    kInCS = 3,
+    kLeaving = 4,
+  };
+  State StateOf(int pid) const {
+    return static_cast<State>(state_[pid].RawLoad());
+  }
+
+  /// Diagnostic: number of distinct sub-queues currently reconstructible
+  /// from shared memory (1 = intact queue). Takes an uninstrumented,
+  /// racy-but-conservative snapshot; meaningful when the system is quiet
+  /// or when callers tolerate approximation (tests quiesce first).
+  int CountSubQueues() const;
+
+  const std::string& label() const { return label_; }
+
+ private:
+  void DoExit(int pid);
+
+  int n_;
+  std::string label_;
+  std::string site_fas_;    // sensitive: FAS on tail
+  std::string site_pred_;   // persist of FAS result (crash "before" it is
+                            // the same window as crash "after" the FAS)
+  std::string site_other_;
+
+  rmr::Atomic<QNode*> tail_{nullptr};
+  rmr::Atomic<uint64_t> state_[kMaxProcs];
+  rmr::Atomic<QNode*> mine_[kMaxProcs];
+  rmr::Atomic<QNode*> pred_[kMaxProcs];
+  EpochReclaimer reclaimer_;
+};
+
+}  // namespace rme

@@ -1,0 +1,61 @@
+#include "locks/ya_tournament_lock.hpp"
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+YaTournamentLock::YaTournamentLock(int num_procs, std::string label)
+    : n_(num_procs), label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  depth_ = 1;
+  int span = 2;
+  while (span < n_) {
+    span *= 2;
+    ++depth_;
+  }
+  nodes_.resize(static_cast<size_t>(depth_));
+  for (int level = 0; level < depth_; ++level) {
+    const int group = 2 << level;  // processes sharing a node at level
+    const int count = (n_ + group - 1) / group;
+    nodes_[static_cast<size_t>(level)].reserve(static_cast<size_t>(count));
+    for (int idx = 0; idx < count; ++idx) {
+      nodes_[static_cast<size_t>(level)].push_back(
+          std::make_unique<ArbitratorLock>(
+              n_, label_ + ".L" + std::to_string(level) + "." +
+                      std::to_string(idx)));
+    }
+  }
+}
+
+ArbitratorLock& YaTournamentLock::NodeAt(int level, int pid) {
+  return *nodes_[static_cast<size_t>(level)]
+                [static_cast<size_t>(pid / (2 << level))];
+}
+
+Side YaTournamentLock::SideAt(int level, int pid) const {
+  return ((pid >> level) & 1) == 0 ? Side::kLeft : Side::kRight;
+}
+
+void YaTournamentLock::Recover(int /*pid*/) {
+  // Per-node recovery runs inline with each node's Enter (Algorithm 3's
+  // convention, shared by every composite lock here).
+}
+
+void YaTournamentLock::Enter(int pid) {
+  for (int level = 0; level < depth_; ++level) {
+    ArbitratorLock& node = NodeAt(level, pid);
+    const Side side = SideAt(level, pid);
+    node.Recover(side, pid);
+    node.Enter(side, pid);
+  }
+}
+
+void YaTournamentLock::Exit(int pid) {
+  // Root-first, like TreeLock: a released ancestor only admits processes
+  // from the other subtree, which cannot reach the sides we still hold.
+  for (int level = depth_ - 1; level >= 0; --level) {
+    NodeAt(level, pid).Exit(SideAt(level, pid), pid);
+  }
+}
+
+}  // namespace rme

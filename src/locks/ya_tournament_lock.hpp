@@ -1,0 +1,50 @@
+// YaTournamentLock: Golab & Ramaraju's n-process strongly recoverable
+// lock — a binary tournament whose every node is their recoverable
+// 2-process (here: 2-side) Yang–Anderson lock, i.e. our ArbitratorLock.
+// This is the construction the paper's related-work section credits with
+// the first O(log n) RME bound from read/write/CAS-class primitives.
+//
+// A process's side at a node is the child subtree it arrives from;
+// holding the child node's lock makes it the side's unique user, which
+// is exactly the ArbitratorLock contract. Recoverability is inherited
+// per node (BCSR fall-through on held sides, Leaving-resume on crashed
+// exits); the path is re-walked on recovery like TreeLock's.
+//
+// Complexity: O(log n) RMR per passage in every failure regime, both
+// models (every wait in the arbitrator is a local spin) — one rung above
+// the k-port tree, one below nothing: the classic bounded non-adaptive
+// baseline with the best portability story (no FAS required).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locks/arbitrator_lock.hpp"
+#include "locks/lock.hpp"
+
+namespace rme {
+
+class YaTournamentLock final : public RecoverableLock {
+ public:
+  explicit YaTournamentLock(int num_procs, std::string label = "ya");
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  std::string name() const override { return "ya-tournament"; }
+
+  int depth() const { return depth_; }
+
+ private:
+  ArbitratorLock& NodeAt(int level, int pid);
+  Side SideAt(int level, int pid) const;
+
+  int n_;
+  int depth_;
+  std::string label_;
+  /// nodes_[level][index]; level 0 = leaves (pairs of processes).
+  std::vector<std::vector<std::unique_ptr<ArbitratorLock>>> nodes_;
+};
+
+}  // namespace rme

@@ -1,0 +1,153 @@
+#include "reclaim/epoch_reclaimer.hpp"
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+EpochReclaimer::EpochReclaimer(int num_procs, std::string label)
+    : pool_(num_procs), label_(std::move(label)) {
+  site_wait_ = label_ + ".wait";
+  site_ctr_ = label_ + ".ctr";
+  for (int i = 0; i < kMaxProcs; ++i) {
+    in_[i].set_home(i);
+    out_[i].set_home(i);
+    switch_[i].set_home(i);
+    mode_[i].set_home(i);
+    index_[i].set_home(i);
+    pool_epoch_[i].set_home(i);
+    confirm_pool_epoch_[i].set_home(i);
+    waiting_for_proc_[i].set_home(i);
+    waiting_threshold_[i].set_home(i);
+    wake_flag_[i].set_home(i);
+    waiters_mask_[i].set_home(i);
+    for (int j = 0; j < kMaxProcs; ++j) snapshot_[i][j].set_home(i);
+    switch_[i].RawStore(kCompleted);
+    mode_[i].RawStore(kScan);
+  }
+}
+
+QNode* EpochReclaimer::NewNode(int pid) {
+  const char* site = site_ctr_.c_str();
+  if (in_[pid].Load(site) == out_[pid].Load(site)) {
+    // Previous node was retired: run one reclamation step, then open a
+    // new logical allocation. A crash between the two leaves in == out,
+    // so recovery re-runs Epoch (its state machine is idempotent).
+    Epoch(pid);
+    in_[pid].FetchAdd(1, site);
+  }
+  const int slot =
+      static_cast<int>(out_[pid].Load(site) % static_cast<uint64_t>(pool_.nodes_per_side()));
+  const int side = static_cast<int>(pool_epoch_[pid].Load(site) & 1);
+  return pool_.At(pid, side, slot);
+}
+
+void EpochReclaimer::RetireNode(int pid) {
+  const char* site = site_ctr_.c_str();
+  if (in_[pid].Load(site) != out_[pid].Load(site)) {
+    out_[pid].FetchAdd(1, site);
+  }
+  NotifyWaiters(pid);
+}
+
+bool EpochReclaimer::HasActiveNode(int pid) const {
+  return in_[pid].RawLoad() != out_[pid].RawLoad();
+}
+
+uint64_t EpochReclaimer::PoolSwaps(int pid) const {
+  return pool_epoch_[pid].RawLoad();
+}
+
+void EpochReclaimer::Epoch(int pid) {
+  const char* site = site_ctr_.c_str();
+  const int n = pool_.num_procs();
+  if (switch_[pid].Load(site) == kCompleted) {
+    int idx = static_cast<int>(index_[pid].Load(site));
+    if (mode_[pid].Load(site) == kScan) {
+      // Scan phase: snapshot the next process's allocation counter.
+      snapshot_[pid][idx].Store(in_[idx].Load(site), site);
+      if (idx < n - 1) {
+        index_[pid].Store(static_cast<uint64_t>(idx) + 1, site);
+      } else {
+        mode_[pid].Store(kWait, site);
+      }
+    } else if (mode_[pid].Load(site) == kWait) {
+      // One wait step per call (never in the same call as a scan step):
+      // this keeps the full cycle at exactly 2n allocations, aligned with
+      // the 2n slots per pool side — reuse distance is then exactly 4n.
+      // Wait phase: let the next process's retirements catch up to the
+      // snapshot, guaranteeing its pre-snapshot request has finished.
+      idx = static_cast<int>(index_[pid].Load(site));
+      const uint64_t threshold = snapshot_[pid][idx].Load(site);
+      WaitForOut(pid, idx, threshold);
+      if (idx > 0) {
+        index_[pid].Store(static_cast<uint64_t>(idx) - 1, site);
+      } else {
+        switch_[pid].Store(kStarted, site);
+      }
+    }
+  }
+  if (switch_[pid].Load(site) == kStarted) {
+    // Swap active and reserve pools exactly once even across crashes:
+    // the flip only happens while pool_epoch == confirm_pool_epoch, and
+    // the single FetchAdd both flips the side (parity) and counts it.
+    const uint64_t cur = pool_epoch_[pid].Load(site);
+    if (cur == confirm_pool_epoch_[pid].Load(site)) {
+      pool_epoch_[pid].FetchAdd(1, site);
+    }
+    switch_[pid].Store(kInProgress, site);
+  }
+  if (switch_[pid].Load(site) == kInProgress) {
+    const uint64_t cur = pool_epoch_[pid].Load(site);
+    if (cur != confirm_pool_epoch_[pid].Load(site)) {
+      confirm_pool_epoch_[pid].Store(cur, site);
+    }
+    mode_[pid].Store(kScan, site);
+    switch_[pid].Store(kCompleted, site);
+  }
+}
+
+void EpochReclaimer::WaitForOut(int pid, int target, uint64_t threshold) {
+  const char* site = site_wait_.c_str();
+  const uint64_t bit = 1ULL << pid;
+  while (out_[target].Load(site) < threshold) {
+    // Register, then re-check to close the lost-wakeup window, then spin
+    // locally on our wake flag until a retirement satisfies us.
+    wake_flag_[pid].Store(0, site);
+    waiting_for_proc_[pid].Store(static_cast<uint64_t>(target), site);
+    waiting_threshold_[pid].Store(threshold, site);
+    waiters_mask_[target].FetchOr(bit, site);
+    if (out_[target].Load(site) >= threshold) {
+      waiters_mask_[target].FetchAnd(~bit, site);
+      break;
+    }
+    uint64_t iter = 0;
+    while (wake_flag_[pid].Load(site) == 0) SpinPause(iter++);
+  }
+}
+
+void EpochReclaimer::NotifyWaiters(int pid) {
+  const char* site = site_wait_.c_str();
+  uint64_t mask = waiters_mask_[pid].Load(site);
+  if (mask == 0) return;
+  const uint64_t out_now = out_[pid].Load(site);
+  for (int i = 0; mask != 0 && i < pool_.num_procs(); ++i) {
+    const uint64_t bit = 1ULL << i;
+    if ((mask & bit) == 0) continue;
+    mask &= ~bit;
+    if (waiting_for_proc_[i].Load(site) != static_cast<uint64_t>(pid)) {
+      // Stale registration (waiter crashed or moved on): clear it.
+      waiters_mask_[pid].FetchAnd(~bit, site);
+      continue;
+    }
+    if (out_now >= waiting_threshold_[i].Load(site)) {
+      // Wake before deregistering: if we crash between the two steps the
+      // waiter has already been released (a stale mask bit is cleaned up
+      // lazily above; a lost wake would deadlock the waiter).
+      wake_flag_[i].Store(1, site);
+      waiters_mask_[pid].FetchAnd(~bit, site);
+    }
+  }
+}
+
+}  // namespace rme

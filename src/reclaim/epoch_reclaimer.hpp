@@ -1,0 +1,92 @@
+// Algorithm 4: epoch-based memory reclamation for MCS queue nodes.
+//
+// A crashed process may leave other processes holding references to its
+// queue node indefinitely, so nodes cannot be recycled eagerly. Each
+// process owns two pools (active/reserve) of 2n nodes. Allocation walks
+// the active pool; one incremental Epoch() step runs per allocation:
+// first a Scan phase snapshots every process's `in` counter, then a Wait
+// phase waits for each `out` counter to catch up to its snapshot, then
+// the pools swap. By the time a node is handed out again, 4n requests
+// have completed since its last use, and every request concurrent with
+// that use has finished — no stale reference can remain.
+//
+// Key recoverability property (relied on by WrLock): repeated calls to
+// NewNode() return the SAME node until RetireNode() is called, so a
+// process that crashes after allocating but before persisting the
+// reference simply re-allocates and gets the identical node back.
+//
+// The paper's pseudocode busy-waits on remote `out` counters (CC model).
+// We implement the waiting with the notification scheme the paper
+// sketches for DSM (§7.2): the waiter registers itself and spins on a
+// wake flag homed at its own node, and retiring processes wake satisfied
+// waiters — O(1) RMRs per wait under both CC and DSM.
+#pragma once
+
+#include <string>
+
+#include "reclaim/node_pool.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class EpochReclaimer {
+ public:
+  /// `label` prefixes crash-site names so multi-lock composites can tell
+  /// instances apart in failure logs.
+  EpochReclaimer(int num_procs, std::string label = "reclaim");
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// Returns the node for `pid`'s current request, allocating one if the
+  /// previous request's node was retired. Idempotent until RetireNode.
+  QNode* NewNode(int pid);
+
+  /// Marks `pid`'s current node retired (idempotent).
+  void RetireNode(int pid);
+
+  /// True if `pid` currently has an allocated-but-unretired node.
+  bool HasActiveNode(int pid) const;
+
+  /// Total nodes owned (space accounting): 4n per process.
+  size_t TotalNodes() const { return pool_.TotalNodes(); }
+
+  int num_procs() const { return pool_.num_procs(); }
+
+  /// Number of pool swaps performed by `pid` (test/diagnostic hook).
+  uint64_t PoolSwaps(int pid) const;
+
+ private:
+  enum SwitchState : uint64_t { kCompleted = 0, kStarted = 1, kInProgress = 2 };
+  enum ModeState : uint64_t { kScan = 0, kWait = 1 };
+
+  void Epoch(int pid);
+  void WaitForOut(int pid, int target, uint64_t threshold);
+  void NotifyWaiters(int pid);
+
+  NodePool pool_;
+  std::string label_;
+  std::string site_wait_;  // cached crash-site labels (stable c_str storage)
+  std::string site_ctr_;
+
+  // Algorithm 4 shared state, one slot per process, homed at the process.
+  rmr::Atomic<uint64_t> in_[kMaxProcs];
+  rmr::Atomic<uint64_t> out_[kMaxProcs];
+  rmr::Atomic<uint64_t> switch_[kMaxProcs];
+  rmr::Atomic<uint64_t> mode_[kMaxProcs];
+  rmr::Atomic<uint64_t> index_[kMaxProcs];
+  /// Monotonic pool-cycle counter: active side = parity, value = number
+  /// of pool swaps so far. Flipping via one FetchAdd makes the swap and
+  /// its count a single atomic step (exactly-once across crashes).
+  rmr::Atomic<uint64_t> pool_epoch_[kMaxProcs];
+  rmr::Atomic<uint64_t> confirm_pool_epoch_[kMaxProcs];
+  rmr::Atomic<uint64_t> snapshot_[kMaxProcs][kMaxProcs];
+
+  // Notification machinery (paper §7.2 DSM variant).
+  rmr::Atomic<uint64_t> waiting_for_proc_[kMaxProcs];
+  rmr::Atomic<uint64_t> waiting_threshold_[kMaxProcs];
+  rmr::Atomic<uint64_t> wake_flag_[kMaxProcs];
+  rmr::Atomic<uint64_t> waiters_mask_[kMaxProcs];
+};
+
+}  // namespace rme

@@ -1,0 +1,32 @@
+#include "reclaim/node_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+NodePool::NodePool(int num_procs) : n_(num_procs) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  const int per_side = nodes_per_side();
+  nodes_.reserve(static_cast<size_t>(n_) * 2 * per_side);
+  for (int pid = 0; pid < n_; ++pid) {
+    for (int side = 0; side < 2; ++side) {
+      for (int slot = 0; slot < per_side; ++slot) {
+        auto node = std::make_unique<QNode>();
+        node->SetHome(pid);
+        nodes_.push_back(std::move(node));
+      }
+    }
+  }
+}
+
+QNode* NodePool::At(int pid, int side, int slot) {
+  RME_DCHECK(pid >= 0 && pid < n_);
+  RME_DCHECK(side == 0 || side == 1);
+  RME_DCHECK(slot >= 0 && slot < nodes_per_side());
+  const size_t idx = (static_cast<size_t>(pid) * 2 + static_cast<size_t>(side)) *
+                         static_cast<size_t>(nodes_per_side()) +
+                     static_cast<size_t>(slot);
+  return nodes_[idx].get();
+}
+
+}  // namespace rme

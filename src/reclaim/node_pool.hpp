@@ -1,0 +1,39 @@
+// Raw node storage backing the epoch reclaimer: for each process, two
+// pools (active / reserve) of 2n nodes each, exactly as Algorithm 4's
+// `pool[1..n][0,1][1..2n]`. Reuse safety is verified externally:
+// tests/reclaim_test.cpp tracks per-node allocation history and asserts
+// the 4n-request reuse distance (and, under crash storms, the
+// two-pool-swaps invariant).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "locks/qnode.hpp"
+
+namespace rme {
+
+class NodePool {
+ public:
+  /// Creates pools for `num_procs` processes, 2 sides x `2*num_procs`
+  /// nodes per process, with DSM homes set to the owning process.
+  explicit NodePool(int num_procs);
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  int num_procs() const { return n_; }
+  int nodes_per_side() const { return 2 * n_; }
+
+  /// The node at (process, side, slot). slot in [0, 2n).
+  QNode* At(int pid, int side, int slot);
+
+  /// Total node count (space-accounting for EXPERIMENTS.md).
+  size_t TotalNodes() const { return nodes_.size(); }
+
+ private:
+  int n_;
+  std::vector<std::unique_ptr<QNode>> nodes_;
+};
+
+}  // namespace rme

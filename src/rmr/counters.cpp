@@ -1,0 +1,112 @@
+#include "rmr/counters.hpp"
+
+#include <thread>
+
+namespace rme {
+
+namespace {
+thread_local ProcessContext tls_context;
+std::atomic<uint64_t> g_logical_clock{0};
+std::atomic<ProcessContext*> g_bound[kMaxProcs];
+}  // namespace
+
+ProcessContext* BoundContext(int pid) {
+  return g_bound[pid].load(std::memory_order_acquire);
+}
+
+MemoryModelConfig& memory_model_config() {
+  static MemoryModelConfig config;
+  return config;
+}
+
+uint64_t LogicalNow() { return g_logical_clock.load(std::memory_order_relaxed); }
+
+uint64_t AdvanceLogicalClock() {
+  return g_logical_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+ProcessContext& CurrentProcess() { return tls_context; }
+
+ProcessBinding::ProcessBinding(int pid, CrashController* crash) {
+  RME_CHECK_MSG(tls_context.pid == kMemoryNode,
+                "thread is already bound to a process");
+  RME_CHECK(pid >= 0 && pid < kMaxProcs);
+  tls_context.pid = pid;
+  tls_context.crash = crash;
+  tls_context.counters = OpCounters{};
+  tls_context.in_cs = false;
+  g_bound[pid].store(&tls_context, std::memory_order_release);
+}
+
+ProcessBinding::~ProcessBinding() {
+  g_bound[tls_context.pid].store(nullptr, std::memory_order_release);
+  tls_context = ProcessContext{};
+}
+
+namespace {
+std::atomic<bool> g_abort{false};
+thread_local SimYieldHook tls_yield_hook = nullptr;
+thread_local void* tls_yield_arg = nullptr;
+}
+
+void RequestGlobalAbort() { g_abort.store(true, std::memory_order_relaxed); }
+void ResetGlobalAbort() { g_abort.store(false, std::memory_order_relaxed); }
+bool GlobalAbortRequested() { return g_abort.load(std::memory_order_relaxed); }
+
+void SetSimYieldHook(SimYieldHook hook, void* arg) {
+  tls_yield_hook = hook;
+  tls_yield_arg = arg;
+}
+
+void SimYieldPoint() {
+  if (tls_yield_hook != nullptr) tls_yield_hook(tls_yield_arg);
+}
+
+void SpinPause(uint64_t iteration) {
+  if (tls_yield_hook != nullptr) {
+    // Deterministic simulator: hand control back to the fiber scheduler
+    // on every spin iteration (real time plays no role there).
+    tls_yield_hook(tls_yield_arg);
+    return;
+  }
+  // Yield increasingly often the longer we spin; with more simulated
+  // processes than cores, the writer we are waiting on needs CPU time.
+  if ((iteration & 0x3f) == 0x3f) {
+    if (g_abort.load(std::memory_order_relaxed)) throw RunAborted{};
+    std::this_thread::yield();
+  }
+}
+
+namespace rmr_detail {
+
+void CountRead(int home, std::atomic<uint64_t>& cc_mask) {
+  ProcessContext& ctx = tls_context;
+  AdvanceLogicalClock();
+  ++ctx.counters.ops;
+  if (ctx.pid == kMemoryNode) return;  // unbound thread: no accounting
+  const uint64_t bit = 1ULL << ctx.pid;
+  // CC: hit iff we hold a valid copy; miss installs one.
+  if ((cc_mask.load(std::memory_order_relaxed) & bit) == 0) {
+    ++ctx.counters.cc_rmrs;
+    cc_mask.fetch_or(bit, std::memory_order_relaxed);
+  }
+  // DSM: remote iff the variable is homed elsewhere.
+  if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
+}
+
+void CountWrite(int home, std::atomic<uint64_t>& cc_mask) {
+  ProcessContext& ctx = tls_context;
+  AdvanceLogicalClock();
+  ++ctx.counters.ops;
+  if (ctx.pid == kMemoryNode) return;
+  const uint64_t bit = 1ULL << ctx.pid;
+  // CC: every write/RMW goes to memory and invalidates other copies.
+  ++ctx.counters.cc_rmrs;
+  const uint64_t keep = memory_model_config().cc_strict ? 0 : bit;
+  cc_mask.store(keep, std::memory_order_relaxed);
+  if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
+}
+
+}  // namespace rmr_detail
+
+}  // namespace rme

@@ -1,0 +1,74 @@
+// Per-process (thread-local) execution context: process id, RMR counters,
+// and the crash controller consulted on every shared-memory operation.
+//
+// The harness installs a ProcessContext on each worker thread before
+// running the Algorithm-1 loop; lock code never touches this directly —
+// it flows through rmr::Atomic instrumentation.
+#pragma once
+
+#include <cstdint>
+
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+class CrashController;  // crash/crash.hpp
+
+struct ProcessContext {
+  int pid = kMemoryNode;          ///< process id in [0, n); kMemoryNode = unbound
+  OpCounters counters;            ///< cumulative counts for this thread
+  CrashController* crash = nullptr;  ///< may be null (no injection)
+  /// True while the process executes its critical section; consulted by
+  /// crash bookkeeping (a crash in CS leaves a reentry obligation).
+  bool in_cs = false;
+  /// Site label of the most recent shared-memory operation. Diagnostic:
+  /// the harness watchdog prints it on a stall, which pinpoints the spin
+  /// loop a stuck process is in.
+  const char* last_site = "";
+};
+
+/// Registry of currently bound contexts (diagnostics; read by the stall
+/// watchdog). Entries are owned by the bound threads.
+ProcessContext* BoundContext(int pid);
+
+/// The context bound to the calling thread (a default, unbound context is
+/// provided so library code also works on non-harness threads).
+ProcessContext& CurrentProcess();
+
+/// Binds/unbinds the calling thread to a process id. The harness uses
+/// RAII (ProcessBinding) around each worker's lifetime.
+class ProcessBinding {
+ public:
+  ProcessBinding(int pid, CrashController* crash);
+  ~ProcessBinding();
+
+  ProcessBinding(const ProcessBinding&) = delete;
+  ProcessBinding& operator=(const ProcessBinding&) = delete;
+};
+
+/// Thrown out of SpinPause when a global abort is requested (watchdog
+/// detected a stall). Workers catch it at the top of their loop; it is a
+/// run-level failure signal, not part of the simulated execution.
+struct RunAborted {};
+
+/// Requests/clears/queries the global abort flag honoured by SpinPause.
+void RequestGlobalAbort();
+void ResetGlobalAbort();
+bool GlobalAbortRequested();
+
+/// Cooperative back-off used inside spin loops: yields to the OS
+/// scheduler periodically so oversubscribed runs make progress. Throws
+/// RunAborted if a global abort has been requested. Under the
+/// deterministic simulator, yields to the fiber scheduler instead.
+void SpinPause(uint64_t iteration);
+
+/// Fiber-scheduler integration (sim/fiber_sim): when a hook is installed
+/// on the calling thread, every instrumented shared-memory operation and
+/// every SpinPause yields through it. The hook may throw (RunAborted) to
+/// unwind a stuck fiber.
+using SimYieldHook = void (*)(void* arg);
+void SetSimYieldHook(SimYieldHook hook, void* arg);
+/// Invokes the hook if one is installed (called by the instrumentation).
+void SimYieldPoint();
+
+}  // namespace rme

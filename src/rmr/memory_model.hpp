@@ -1,0 +1,231 @@
+// Simulated shared-memory substrate with remote-memory-reference (RMR)
+// accounting under the two models the paper analyzes:
+//
+//  - Cache-coherent (CC): every variable tracks, in a bitmask, which
+//    processes hold a valid cached copy. A read by a process with a valid
+//    copy is free; a read without one costs 1 RMR and installs a copy.
+//    Every write or RMW costs 1 RMR and invalidates all other copies
+//    (the writer keeps a valid copy; `--cc-strict` ablation drops it).
+//
+//  - Distributed shared memory (DSM): every variable has a home node.
+//    Any operation issued by a process other than the home costs 1 RMR.
+//
+// Both counts are maintained simultaneously on every operation, so one
+// experiment run reports both columns. Operations execute on real
+// std::atomic's, so the locks are genuinely concurrent — the accounting
+// rides along, it does not serialize anything.
+//
+// NATIVE MODE: compiling with -DRME_NATIVE_ATOMICS strips every probe —
+// Atomic<T> becomes a thin std::atomic wrapper with the same API (sites
+// ignored, no RMR counting, no crash injection). The identical lock
+// sources then run at hardware speed; the `rme_native` library target
+// and `bench_native_throughput` are built this way, and the delta
+// against `bench_throughput` measures the instrumentation overhead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+/// Maximum number of simulated processes (bitmask-bound).
+inline constexpr int kMaxProcs = 64;
+
+/// Home node denoting "main memory": remote to every process under DSM.
+inline constexpr int kMemoryNode = -1;
+
+/// Counts of simulated-memory activity for one process.
+struct OpCounters {
+  uint64_t ops = 0;       ///< shared-memory operations issued
+  uint64_t cc_rmrs = 0;   ///< RMRs under the CC model
+  uint64_t dsm_rmrs = 0;  ///< RMRs under the DSM model
+
+  OpCounters operator-(const OpCounters& o) const {
+    return {ops - o.ops, cc_rmrs - o.cc_rmrs, dsm_rmrs - o.dsm_rmrs};
+  }
+  OpCounters& operator+=(const OpCounters& o) {
+    ops += o.ops;
+    cc_rmrs += o.cc_rmrs;
+    dsm_rmrs += o.dsm_rmrs;
+    return *this;
+  }
+};
+
+/// Global knobs for the memory model (set once before an experiment).
+struct MemoryModelConfig {
+  /// If true, a writer does NOT retain a valid cached copy after writing
+  /// (strict-invalidation ablation; see DESIGN.md §5).
+  bool cc_strict = false;
+};
+
+MemoryModelConfig& memory_model_config();
+
+/// Monotonic logical clock, advanced on every shared-memory operation.
+/// Failure timestamps and consequence intervals are expressed in it.
+uint64_t LogicalNow();
+uint64_t AdvanceLogicalClock();
+
+namespace rmr_detail {
+
+// Forward-declared crash hook, implemented in crash/crash.cpp. Called
+// around every shared-memory operation; may throw ProcessCrash.
+void MaybeCrash(const char* site, bool after_op);
+
+// Accounting helpers; implemented inline below against the thread-local
+// process context (declared in counters.hpp, defined in counters.cpp).
+void CountRead(int home, std::atomic<uint64_t>& cc_mask);
+void CountWrite(int home, std::atomic<uint64_t>& cc_mask);
+
+}  // namespace rmr_detail
+
+namespace rmr {
+
+/// An instrumented shared (simulated-NVRAM) atomic variable.
+///
+/// All lock state that the paper stores in "shared memory" lives in these.
+/// Contents survive simulated crashes (the object is never destroyed by a
+/// crash); per-process private state must live in function locals, which
+/// the crash exception unwinds away — exactly the paper's failure model.
+template <typename T>
+class Atomic {
+ public:
+  explicit Atomic(T init = T{}, int home = kMemoryNode)
+      : value_(init), cc_mask_(0), home_(home) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  /// Sets the DSM home node. Must be called before concurrent use.
+  void set_home(int home) { home_ = home; }
+  int home() const { return home_; }
+
+  /// Plain (uninstrumented, crash-free) access for checkers/initialization.
+  T RawLoad() const { return value_.load(std::memory_order_seq_cst); }
+  void RawStore(T v) {
+    value_.store(v, std::memory_order_seq_cst);
+    cc_mask_.store(0, std::memory_order_relaxed);
+  }
+
+#ifdef RME_NATIVE_ATOMICS
+  // Native mode: bare atomics, no probes. Sites are ignored.
+  //
+  // Deliberately seq_cst: the arbitrator's Peterson-style handshake
+  // (store my flag, then read the other side's flag) is the classic
+  // StoreLoad hazard — release/acquire is NOT enough, on x86 included.
+  // The paper's algorithms are all specified against a sequentially
+  // consistent shared memory.
+  T Load(const char* = "") const {
+    return value_.load(std::memory_order_seq_cst);
+  }
+  void Store(T v, const char* = "") {
+    value_.store(v, std::memory_order_seq_cst);
+  }
+  T Exchange(T v, const char* = "") {
+    return value_.exchange(v, std::memory_order_seq_cst);
+  }
+  bool CompareExchange(T expected, T desired, const char* = "") {
+    return value_.compare_exchange_strong(expected, desired,
+                                          std::memory_order_seq_cst);
+  }
+  T FetchOr(T bits, const char* = "")
+    requires std::is_integral_v<T>
+  {
+    return value_.fetch_or(bits, std::memory_order_seq_cst);
+  }
+  T FetchAnd(T bits, const char* = "")
+    requires std::is_integral_v<T>
+  {
+    return value_.fetch_and(bits, std::memory_order_seq_cst);
+  }
+  T FetchAdd(T delta, const char* = "")
+    requires std::is_integral_v<T>
+  {
+    return value_.fetch_add(delta, std::memory_order_seq_cst);
+  }
+#else
+  /// Instrumented read.
+  T Load(const char* site = "load") const {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountRead(home_, cc_mask_);
+    T v = value_.load(std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return v;
+  }
+
+  /// Instrumented write.
+  void Store(T v, const char* site = "store") {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    value_.store(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+  }
+
+  /// Instrumented fetch-and-store (the paper's FAS).
+  ///
+  /// A crash injected "after" this op models the paper's one sensitive
+  /// instruction: the exchange took effect in shared memory but the
+  /// return value is lost with the crashing process's private state.
+  T Exchange(T v, const char* site = "fas") {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    T old = value_.exchange(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return old;
+  }
+
+  /// Instrumented compare-and-swap (the paper's CAS). Returns true iff the
+  /// value was changed from `expected` to `desired`.
+  bool CompareExchange(T expected, T desired, const char* site = "cas") {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    bool ok = value_.compare_exchange_strong(expected, desired,
+                                             std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return ok;
+  }
+
+  /// Instrumented fetch-and-or, for integral T.
+  T FetchOr(T bits, const char* site = "faor")
+    requires std::is_integral_v<T>
+  {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    T old = value_.fetch_or(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return old;
+  }
+
+  /// Instrumented fetch-and-and, for integral T.
+  T FetchAnd(T bits, const char* site = "faand")
+    requires std::is_integral_v<T>
+  {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    T old = value_.fetch_and(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return old;
+  }
+
+  /// Instrumented fetch-and-add, for integral T.
+  T FetchAdd(T delta, const char* site = "faa")
+    requires std::is_integral_v<T>
+  {
+    rmr_detail::MaybeCrash(site, /*after_op=*/false);
+    rmr_detail::CountWrite(home_, cc_mask_);
+    T old = value_.fetch_add(delta, std::memory_order_seq_cst);
+    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    return old;
+  }
+#endif  // RME_NATIVE_ATOMICS
+
+ private:
+  mutable std::atomic<T> value_;
+  /// Bit i set <=> process i holds a valid cached copy (CC model).
+  mutable std::atomic<uint64_t> cc_mask_;
+  int home_;
+};
+
+}  // namespace rmr
+}  // namespace rme

@@ -1,0 +1,60 @@
+#include "runtime/checkers.hpp"
+
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+void MeChecker::EnterCS(int pid) {
+  const uint64_t bit = 1ULL << pid;
+
+  if (strong_) {
+    // BCSR/CSR: nobody may enter while another process that crashed in
+    // its CS has not re-entered.
+    const uint64_t pending = reentry_pending_mask_.load(std::memory_order_acquire);
+    if ((pending & ~bit) != 0) {
+      bcsr_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  reentry_pending_mask_.fetch_and(~bit, std::memory_order_acq_rel);
+
+  const uint64_t mask = in_cs_mask_.fetch_or(bit, std::memory_order_acq_rel) | bit;
+  const int k = std::popcount(mask);
+
+  uint64_t prev_max = max_concurrent_.load(std::memory_order_relaxed);
+  while (static_cast<uint64_t>(k) > prev_max &&
+         !max_concurrent_.compare_exchange_weak(prev_max, static_cast<uint64_t>(k),
+                                                std::memory_order_relaxed)) {
+  }
+
+  if (k > 1) {
+    if (strong_) {
+      me_violations_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Weak recoverability admits the overlap only inside some failure's
+      // consequence interval (Def 3.2)...
+      if (log_ == nullptr || log_->ActiveFailures() == 0) {
+        me_violations_.fetch_add(1, std::memory_order_relaxed);
+      } else if (log_->ActiveFailures(/*unsafe_only=*/true) <
+                 static_cast<uint64_t>(k - 1)) {
+        // ...and responsiveness (Thm 4.2) wants k-1 of them unsafe. The
+        // interval scan races with interval expiry, so this is reported
+        // as a statistic, not a hard violation.
+        responsiveness_deficits_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+void MeChecker::ExitCS(int pid) {
+  in_cs_mask_.fetch_and(~(1ULL << pid), std::memory_order_acq_rel);
+}
+
+void MeChecker::OnCrashInCS(int pid) {
+  const uint64_t bit = 1ULL << pid;
+  in_cs_mask_.fetch_and(~bit, std::memory_order_acq_rel);
+  reentry_pending_mask_.fetch_or(bit, std::memory_order_acq_rel);
+}
+
+}  // namespace rme

@@ -1,0 +1,53 @@
+// Online invariant checkers driven by the harness around every critical
+// section:
+//  - mutual exclusion (strong locks: any concurrency is a violation;
+//    weak locks: concurrency is admissible only while some failure's
+//    consequence interval is active — Def 3.2),
+//  - bounded critical-section reentry (a process that crashed in its CS
+//    must re-enter before anyone else does — strong locks only),
+//  - concurrency statistics used by the responsiveness analysis
+//    (Thm 4.2: k+1 in CS implies >= k overlapping unsafe failures).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "crash/failure_log.hpp"
+
+namespace rme {
+
+class MeChecker {
+ public:
+  MeChecker(bool strong, FailureLog* log) : strong_(strong), log_(log) {}
+
+  void EnterCS(int pid);
+  void ExitCS(int pid);
+  void OnCrashInCS(int pid);
+
+  uint64_t me_violations() const {
+    return me_violations_.load(std::memory_order_relaxed);
+  }
+  uint64_t bcsr_violations() const {
+    return bcsr_violations_.load(std::memory_order_relaxed);
+  }
+  /// Times a weak lock had k+1 in CS with fewer than k active *unsafe*
+  /// failure intervals (responsiveness deficit, Thm 4.2).
+  uint64_t responsiveness_deficits() const {
+    return responsiveness_deficits_.load(std::memory_order_relaxed);
+  }
+  int max_concurrent() const {
+    return static_cast<int>(max_concurrent_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  bool strong_;
+  FailureLog* log_;
+  std::atomic<uint64_t> in_cs_mask_{0};
+  std::atomic<uint64_t> reentry_pending_mask_{0};
+  std::atomic<uint64_t> me_violations_{0};
+  std::atomic<uint64_t> bcsr_violations_{0};
+  std::atomic<uint64_t> responsiveness_deficits_{0};
+  std::atomic<uint64_t> max_concurrent_{0};
+};
+
+}  // namespace rme

@@ -1,0 +1,44 @@
+#include "runtime/experiment.hpp"
+
+#include "core/lock_registry.hpp"
+
+namespace rme {
+
+std::string Scenario::Label() const {
+  switch (kind) {
+    case Kind::kNoFailures:
+      return "no-failures";
+    case Kind::kBudgeted:
+      return "F=" + std::to_string(budget);
+    case Kind::kSustained:
+      return "sustained(p=" + std::to_string(per_op_probability) + ")";
+  }
+  return "?";
+}
+
+RunResult RunScenario(RecoverableLock& lock, const WorkloadConfig& cfg,
+                      const Scenario& scenario) {
+  std::unique_ptr<CrashController> crash;
+  switch (scenario.kind) {
+    case Scenario::Kind::kNoFailures:
+      break;
+    case Scenario::Kind::kBudgeted:
+      crash = std::make_unique<RandomCrash>(cfg.seed + 101,
+                                            scenario.per_op_probability,
+                                            scenario.budget);
+      break;
+    case Scenario::Kind::kSustained:
+      crash = std::make_unique<RandomCrash>(cfg.seed + 101,
+                                            scenario.per_op_probability, -1);
+      break;
+  }
+  return RunWorkload(lock, cfg, crash.get());
+}
+
+RunResult RunScenario(const std::string& lock_name, const WorkloadConfig& cfg,
+                      const Scenario& scenario) {
+  auto lock = MakeLock(lock_name, cfg.num_procs);
+  return RunScenario(*lock, cfg, scenario);
+}
+
+}  // namespace rme

@@ -1,0 +1,40 @@
+// Scenario helpers shared by the benches: build a lock by name, run it
+// under one of the paper's three failure regimes (none / F budgeted
+// failures / sustained failures) and return the harness result.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/harness.hpp"
+
+namespace rme {
+
+struct Scenario {
+  enum class Kind {
+    kNoFailures,   ///< no crash injection
+    kBudgeted,     ///< random crashes until `budget` have fired
+    kSustained,    ///< random crashes for the whole run (unbounded)
+  };
+  Kind kind = Kind::kNoFailures;
+  double per_op_probability = 0.0;
+  int64_t budget = 0;
+
+  static Scenario None() { return {}; }
+  static Scenario Budgeted(int64_t f, double p = 0.002) {
+    return {Kind::kBudgeted, p, f};
+  }
+  static Scenario Sustained(double p) { return {Kind::kSustained, p, -1}; }
+
+  std::string Label() const;
+};
+
+/// Builds the named lock and runs the workload under the scenario.
+RunResult RunScenario(const std::string& lock_name, const WorkloadConfig& cfg,
+                      const Scenario& scenario);
+
+/// Same, for an existing lock instance.
+RunResult RunScenario(RecoverableLock& lock, const WorkloadConfig& cfg,
+                      const Scenario& scenario);
+
+}  // namespace rme

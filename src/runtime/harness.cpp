@@ -1,0 +1,248 @@
+#include "runtime/harness.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "rmr/counters.hpp"
+#include "runtime/checkers.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+
+namespace {
+
+/// Per-worker accumulator, merged into RunResult at the end.
+struct WorkerStats {
+  SegmentStats passage, recover, enter, exit_seg, crashed, victim;
+  Histogram cc_hist;
+  Summary level;
+  std::map<int, SegmentStats> by_overlap;
+  std::map<int, Summary> level_by_overlap;
+  uint64_t attempts = 0, failures = 0, unsafe = 0;
+  uint64_t max_recover_ops = 0, max_exit_ops = 0;
+  bool aborted = false;
+};
+
+// Bucket an overlap count so the by-overlap tables stay compact.
+int OverlapBucket(uint64_t f) {
+  if (f <= 8) return static_cast<int>(f);
+  int b = 16;
+  while (static_cast<uint64_t>(b) < f) b *= 2;
+  return b;
+}
+
+}  // namespace
+
+RunResult RunWorkload(RecoverableLock& lock, const WorkloadConfig& cfg,
+                      CrashController* crash) {
+  RME_CHECK(cfg.num_procs > 0 && cfg.num_procs <= kMaxProcs);
+  ResetGlobalAbort();
+
+  FailureLog failure_log(cfg.num_procs);
+  MeChecker checker(lock.IsStronglyRecoverable(), &failure_log);
+
+  // Scratch variable the CS body mutates (instrumented: CS crashes land
+  // here, exercising BCSR); its own counts are excluded from passage RMR.
+  rmr::Atomic<uint64_t> cs_scratch{0};
+
+  std::vector<WorkerStats> stats(static_cast<size_t>(cfg.num_procs));
+  std::atomic<uint64_t> progress{0};
+  std::atomic<bool> stop_watchdog{false};
+
+  auto worker = [&](int pid) {
+    ProcessBinding bind(pid, crash);
+    ProcessContext& ctx = CurrentProcess();
+    WorkerStats& my = stats[static_cast<size_t>(pid)];
+    Prng rng(cfg.seed, static_cast<uint64_t>(pid) + 7777);
+
+    for (uint64_t done = 0; done < cfg.passages_per_proc;) {
+      failure_log.OnRequestStart(pid);
+      // F for this super-passage (Thm 5.18's "recent failures"): intervals
+      // already active at the start plus failures occurring during it.
+      const uint64_t overlap_base = failure_log.ActiveFailures();
+      const uint64_t total_base = failure_log.TotalFailures();
+      uint64_t own_crashes = 0;
+      bool satisfied = false;
+      while (!satisfied && !GlobalAbortRequested()) {
+        ++my.attempts;
+        bool in_cs = false;
+        const OpCounters s0 = ctx.counters;
+        try {
+          lock.Recover(pid);
+          const OpCounters s1 = ctx.counters;
+          lock.Enter(pid);
+          const OpCounters s2 = ctx.counters;
+
+          checker.EnterCS(pid);
+          in_cs = true;
+          for (int j = 0; j < cfg.cs_shared_ops; ++j) {
+            cs_scratch.FetchAdd(1, "cs.op");
+            // Yielding here is what makes single-core runs contended:
+            // waiters get CPU time while we hold the lock.
+            for (int y = 0; y < cfg.cs_yields; ++y) std::this_thread::yield();
+          }
+          in_cs = false;
+          checker.ExitCS(pid);
+
+          const OpCounters s3 = ctx.counters;
+          lock.Exit(pid);
+          const OpCounters s4 = ctx.counters;
+
+          const OpCounters rec = s1 - s0;
+          const OpCounters ent = s2 - s1;
+          const OpCounters ext = s4 - s3;
+          my.recover.cc.Add(static_cast<double>(rec.cc_rmrs));
+          my.recover.dsm.Add(static_cast<double>(rec.dsm_rmrs));
+          my.recover.ops.Add(static_cast<double>(rec.ops));
+          my.enter.cc.Add(static_cast<double>(ent.cc_rmrs));
+          my.enter.dsm.Add(static_cast<double>(ent.dsm_rmrs));
+          my.enter.ops.Add(static_cast<double>(ent.ops));
+          my.exit_seg.cc.Add(static_cast<double>(ext.cc_rmrs));
+          my.exit_seg.dsm.Add(static_cast<double>(ext.dsm_rmrs));
+          my.exit_seg.ops.Add(static_cast<double>(ext.ops));
+          const uint64_t pcc = rec.cc_rmrs + ent.cc_rmrs + ext.cc_rmrs;
+          const uint64_t pdsm = rec.dsm_rmrs + ent.dsm_rmrs + ext.dsm_rmrs;
+          const uint64_t pops = rec.ops + ent.ops + ext.ops;
+          my.passage.cc.Add(static_cast<double>(pcc));
+          my.passage.dsm.Add(static_cast<double>(pdsm));
+          my.passage.ops.Add(static_cast<double>(pops));
+          my.cc_hist.Add(pcc);
+          my.max_recover_ops = std::max(my.max_recover_ops, rec.ops);
+          my.max_exit_ops = std::max(my.max_exit_ops, ext.ops);
+          const int depth = lock.LastPathDepth(pid);
+          if (depth > 0) my.level.Add(depth);
+
+          const uint64_t overlap =
+              overlap_base + (failure_log.TotalFailures() - total_base);
+          const int bucket = OverlapBucket(overlap);
+          SegmentStats& bin = my.by_overlap[bucket];
+          bin.cc.Add(static_cast<double>(pcc));
+          bin.dsm.Add(static_cast<double>(pdsm));
+          bin.ops.Add(static_cast<double>(pops));
+          if (depth > 0) my.level_by_overlap[bucket].Add(depth);
+          if (own_crashes > 0) {
+            my.victim.cc.Add(static_cast<double>(pcc));
+            my.victim.dsm.Add(static_cast<double>(pdsm));
+            my.victim.ops.Add(static_cast<double>(pops));
+          }
+          satisfied = true;
+        } catch (const ProcessCrash& cr) {
+          if (in_cs) checker.OnCrashInCS(pid);
+          const bool unsafe = lock.IsSensitiveSite(cr.site, cr.after_op);
+          failure_log.RecordFailure(pid, cr.time, cr.site, cr.after_op,
+                                    unsafe);
+          ++my.failures;
+          ++own_crashes;
+          if (unsafe) ++my.unsafe;
+          const OpCounters burned = ctx.counters - s0;
+          my.crashed.cc.Add(static_cast<double>(burned.cc_rmrs));
+          my.crashed.dsm.Add(static_cast<double>(burned.dsm_rmrs));
+          my.crashed.ops.Add(static_cast<double>(burned.ops));
+          // Restart from NCS (Algorithm 1): loop continues.
+        } catch (const RunAborted&) {
+          my.aborted = true;
+          break;
+        }
+      }
+      if (!satisfied) break;  // aborted
+      failure_log.OnRequestComplete(pid);
+      ++done;
+      progress.fetch_add(1, std::memory_order_relaxed);
+      // NCS: local (uninstrumented) work.
+      for (int j = 0; j < cfg.ncs_local_work; ++j) (void)rng.Next();
+    }
+
+    // Graceful shutdown: no injection while releasing leftover resources.
+    ctx.crash = nullptr;
+    try {
+      lock.OnProcessDone(pid);
+    } catch (const RunAborted&) {
+      my.aborted = true;
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::thread watchdog([&] {
+    uint64_t last = 0;
+    auto last_change = std::chrono::steady_clock::now();
+    while (!stop_watchdog.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const uint64_t now = progress.load(std::memory_order_relaxed);
+      const auto t = std::chrono::steady_clock::now();
+      if (now != last) {
+        last = now;
+        last_change = t;
+      } else if (std::chrono::duration<double>(t - last_change).count() >
+                 cfg.watchdog_seconds) {
+        // Stall: report where every process last touched shared memory
+        // (pinpoints the spin loop a deadlocked process sits in).
+        std::fprintf(stderr, "WATCHDOG: no progress for %.1fs; last sites:\n",
+                     cfg.watchdog_seconds);
+        for (int pid = 0; pid < cfg.num_procs; ++pid) {
+          ProcessContext* ctx = BoundContext(pid);
+          if (ctx != nullptr) {
+            std::fprintf(stderr, "  p%-3d @ %s (ops=%llu)\n", pid,
+                         ctx->last_site,
+                         static_cast<unsigned long long>(ctx->counters.ops));
+          }
+        }
+        RequestGlobalAbort();
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(cfg.num_procs));
+  for (int pid = 0; pid < cfg.num_procs; ++pid) {
+    threads.emplace_back(worker, pid);
+  }
+  for (auto& t : threads) t.join();
+  stop_watchdog.store(true, std::memory_order_relaxed);
+  watchdog.join();
+
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult result;
+  for (const auto& w : stats) {
+    result.passage.Merge(w.passage);
+    result.recover.Merge(w.recover);
+    result.enter.Merge(w.enter);
+    result.exit_seg.Merge(w.exit_seg);
+    result.crashed_passage.Merge(w.crashed);
+    result.victim_passage.Merge(w.victim);
+    result.passage_cc_hist.Merge(w.cc_hist);
+    result.level_reached.Merge(w.level);
+    for (const auto& [bucket, seg] : w.by_overlap) {
+      result.by_overlap[bucket].Merge(seg);
+    }
+    for (const auto& [bucket, s] : w.level_by_overlap) {
+      result.level_by_overlap[bucket].Merge(s);
+    }
+    result.completed_passages += w.passage.cc.count();
+    result.total_attempts += w.attempts;
+    result.failures += w.failures;
+    result.unsafe_failures += w.unsafe;
+    result.max_recover_ops = std::max(result.max_recover_ops, w.max_recover_ops);
+    result.max_exit_ops = std::max(result.max_exit_ops, w.max_exit_ops);
+    result.aborted = result.aborted || w.aborted;
+  }
+  result.aborted = result.aborted || GlobalAbortRequested();
+  result.me_violations = checker.me_violations();
+  result.bcsr_violations = checker.bcsr_violations();
+  result.responsiveness_deficits = checker.responsiveness_deficits();
+  result.max_concurrent_cs = checker.max_concurrent();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.passages_per_second =
+      result.wall_seconds > 0
+          ? static_cast<double>(result.completed_passages) / result.wall_seconds
+          : 0.0;
+  result.lock_stats = lock.StatsString();
+  result.failure_records = failure_log.Records();
+  return result;
+}
+
+}  // namespace rme

@@ -1,0 +1,91 @@
+// The process-execution harness: runs n worker threads through the
+// paper's Algorithm-1 loop (NCS -> Recover -> Enter -> CS -> Exit),
+// injecting crashes, restarting crashed processes, verifying invariants
+// and collecting per-passage RMR statistics under both memory models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crash/crash.hpp"
+#include "crash/failure_log.hpp"
+#include "locks/lock.hpp"
+#include "util/stats.hpp"
+
+namespace rme {
+
+struct WorkloadConfig {
+  int num_procs = 4;
+  uint64_t passages_per_proc = 200;  ///< satisfied requests per process
+  uint64_t seed = 1;
+  int cs_shared_ops = 2;   ///< instrumented ops inside the CS (enables
+                           ///< crash-in-CS and exercises BCSR)
+  int cs_yields = 1;       ///< scheduler yields inside the CS: on machines
+                           ///< with fewer cores than processes this is what
+                           ///< creates real lock contention (waiters pile up
+                           ///< while the holder is descheduled)
+  int ncs_local_work = 32; ///< uninstrumented local work between requests
+  double watchdog_seconds = 30.0;  ///< stall detector; aborts the run
+};
+
+struct SegmentStats {
+  Summary cc;   ///< RMRs under CC, per failure-free passage
+  Summary dsm;  ///< RMRs under DSM
+  Summary ops;  ///< total shared ops
+  void Merge(const SegmentStats& o) {
+    cc.Merge(o.cc);
+    dsm.Merge(o.dsm);
+    ops.Merge(o.ops);
+  }
+};
+
+struct RunResult {
+  // Whole-passage (Recover + Enter + Exit; CS excluded) for passages that
+  // completed failure-free.
+  SegmentStats passage;
+  SegmentStats recover;
+  SegmentStats enter;
+  SegmentStats exit_seg;
+  /// RMRs burned by passages that ended in a crash (partial work).
+  SegmentStats crashed_passage;
+  /// Satisfied passages of super-passages that experienced at least one
+  /// own crash ("victims"): where per-failure repair bills land.
+  SegmentStats victim_passage;
+  Histogram passage_cc_hist;
+
+  uint64_t completed_passages = 0;
+  uint64_t total_attempts = 0;
+  uint64_t failures = 0;
+  uint64_t unsafe_failures = 0;
+
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t responsiveness_deficits = 0;
+  int max_concurrent_cs = 0;
+
+  /// Step-bound observations (BE/BR: these must stay O(1)-ish).
+  uint64_t max_recover_ops = 0;
+  uint64_t max_exit_ops = 0;
+
+  Summary level_reached;  ///< BaLock escalation level per passage
+
+  /// Per-passage RMR statistics conditioned on F = the number of failures
+  /// whose consequence interval overlapped the passage's super-passage —
+  /// the exact quantity Theorem 5.18 bounds by O(min{sqrt F, T(n)}).
+  std::map<int, SegmentStats> by_overlap;
+  std::map<int, Summary> level_by_overlap;
+
+  bool aborted = false;   ///< watchdog fired (deadlock/starvation)
+  double wall_seconds = 0.0;
+  double passages_per_second = 0.0;
+  std::string lock_stats;
+  std::vector<FailureRecord> failure_records;
+};
+
+/// Runs the workload. `crash` may be null (failure-free).
+RunResult RunWorkload(RecoverableLock& lock, const WorkloadConfig& cfg,
+                      CrashController* crash);
+
+}  // namespace rme

@@ -1,0 +1,79 @@
+#include "runtime/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rme {
+
+std::string SummaryLine(const std::string& label, const RunResult& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << label << ": passages=" << r.completed_passages
+     << " cc=" << r.passage.cc.mean() << "/" << r.passage.cc.max()
+     << " dsm=" << r.passage.dsm.mean() << "/" << r.passage.dsm.max()
+     << " failures=" << r.failures << " (unsafe " << r.unsafe_failures << ")"
+     << " me=" << r.me_violations << " bcsr=" << r.bcsr_violations;
+  if (r.level_reached.count() > 0) {
+    os << " maxlvl=" << static_cast<int>(r.level_reached.max());
+  }
+  if (r.aborted) os << " ABORTED";
+  return os.str();
+}
+
+std::string CsvHeader() {
+  return "label,passages,attempts,failures,unsafe_failures,"
+         "cc_mean,cc_max,dsm_mean,dsm_max,"
+         "recover_cc_mean,enter_cc_mean,exit_cc_mean,"
+         "victim_cc_mean,me_violations,bcsr_violations,"
+         "max_concurrent_cs,max_level,wall_seconds,passages_per_second,"
+         "aborted";
+}
+
+std::string CsvRow(const std::string& label, const RunResult& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4);
+  os << label << ',' << r.completed_passages << ',' << r.total_attempts << ','
+     << r.failures << ',' << r.unsafe_failures << ',' << r.passage.cc.mean()
+     << ',' << r.passage.cc.max() << ',' << r.passage.dsm.mean() << ','
+     << r.passage.dsm.max() << ',' << r.recover.cc.mean() << ','
+     << r.enter.cc.mean() << ',' << r.exit_seg.cc.mean() << ','
+     << r.victim_passage.cc.mean() << ',' << r.me_violations << ','
+     << r.bcsr_violations << ',' << r.max_concurrent_cs << ','
+     << r.level_reached.max() << ',' << r.wall_seconds << ','
+     << r.passages_per_second << ',' << (r.aborted ? 1 : 0);
+  return os.str();
+}
+
+std::string BlockReport(const std::string& label, const RunResult& r) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "== " << label << " ==\n";
+  os << "passages " << r.completed_passages << " (attempts "
+     << r.total_attempts << "), failures " << r.failures << " (unsafe "
+     << r.unsafe_failures << ")\n";
+  os << "rmr/passage  cc mean " << r.passage.cc.mean() << " max "
+     << r.passage.cc.max() << " | dsm mean " << r.passage.dsm.mean()
+     << " max " << r.passage.dsm.max() << "\n";
+  os << "segments cc  recover " << r.recover.cc.mean() << " enter "
+     << r.enter.cc.mean() << " exit " << r.exit_seg.cc.mean() << "\n";
+  if (r.victim_passage.cc.count() > 0) {
+    os << "victims      " << r.victim_passage.cc.count() << " passages, cc mean "
+       << r.victim_passage.cc.mean() << "\n";
+  }
+  if (!r.by_overlap.empty() &&
+      (r.by_overlap.size() > 1 || r.by_overlap.begin()->first != 0)) {
+    os << "by overlap F:";
+    for (const auto& [bucket, seg] : r.by_overlap) {
+      os << "  [" << bucket << "]=" << seg.cc.mean() << " (x"
+         << seg.cc.count() << ")";
+    }
+    os << "\n";
+  }
+  os << "checks       me=" << r.me_violations << " bcsr=" << r.bcsr_violations
+     << " max-concurrent=" << r.max_concurrent_cs
+     << (r.aborted ? "  **ABORTED**" : "") << "\n";
+  if (!r.lock_stats.empty()) os << r.lock_stats << "\n";
+  return os.str();
+}
+
+}  // namespace rme

@@ -1,0 +1,23 @@
+// Turning RunResult into shareable artifacts: one-line summaries,
+// CSV rows (for plotting sweeps), and a human-readable block report.
+#pragma once
+
+#include <string>
+
+#include "runtime/harness.hpp"
+
+namespace rme {
+
+/// "lock=<n> cc=12.3/45 dsm=... failures=..": one line, log-friendly.
+std::string SummaryLine(const std::string& label, const RunResult& r);
+
+/// CSV header matching CsvRow's columns.
+std::string CsvHeader();
+
+/// One CSV data row for a run (label is the first column).
+std::string CsvRow(const std::string& label, const RunResult& r);
+
+/// Multi-line human-readable report (segments, buckets, checkers).
+std::string BlockReport(const std::string& label, const RunResult& r);
+
+}  // namespace rme

@@ -1,0 +1,182 @@
+#include "sim/fiber_sim.hpp"
+
+#include <ucontext.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+namespace {
+
+struct Fiber {
+  ucontext_t ctx;
+  std::vector<char> stack;
+  ProcessContext saved;  ///< the fiber's ProcessContext image while parked
+  bool started = false;
+  bool done = false;
+  int pid = -1;
+};
+
+struct Scheduler {
+  ucontext_t main_ctx;
+  std::vector<Fiber> fibers;
+  int current = -1;
+  Prng rng;
+  uint64_t steps = 0;
+  uint64_t max_steps = 0;
+  bool overflow = false;
+  const std::function<void(int)>* body = nullptr;
+  // Ring buffer of the last trace_capacity scheduling events.
+  std::vector<DeterministicSim::TraceEvent> trace;
+  size_t trace_capacity = 0;
+  size_t trace_next = 0;
+  bool trace_wrapped = false;
+};
+
+thread_local Scheduler* g_sched = nullptr;
+thread_local uint64_t g_last_steps = 0;
+thread_local std::vector<DeterministicSim::TraceEvent> g_last_trace;
+
+// Yield from the running fiber back to the scheduler. Installed as the
+// thread's SimYieldHook: runs before every instrumented shared-memory op
+// and on every SpinPause.
+void FiberYield(void* arg) {
+  auto* sched = static_cast<Scheduler*>(arg);
+  RME_DCHECK(sched->current >= 0);
+  Fiber& me = sched->fibers[static_cast<size_t>(sched->current)];
+  if (sched->overflow) {
+    // The run is stuck (deadlock/livelock): unwind this fiber. RunAborted
+    // is the same signal SpinPause uses for thread-harness aborts.
+    throw RunAborted{};
+  }
+  // Park: stash our ProcessContext image and return to the scheduler.
+  me.saved = CurrentProcess();
+  swapcontext(&me.ctx, &sched->main_ctx);
+  // Resumed: restore our image (another fiber ran meanwhile).
+  CurrentProcess() = me.saved;
+}
+
+void Trampoline() {
+  Scheduler* sched = g_sched;
+  const int index = sched->current;
+  Fiber& me = sched->fibers[static_cast<size_t>(index)];
+  CurrentProcess() = ProcessContext{};  // fresh image for this fiber
+  try {
+    (*sched->body)(me.pid);
+  } catch (const RunAborted&) {
+    // Forced unwind of a stuck run.
+  } catch (...) {
+    RME_CHECK_MSG(false, "uncaught exception escaped a simulated process");
+  }
+  me.done = true;
+  me.saved = ProcessContext{};
+  swapcontext(&me.ctx, &sched->main_ctx);  // never resumed
+  RME_CHECK_MSG(false, "resumed a completed fiber");
+}
+
+}  // namespace
+
+bool DeterministicSim::Run(const Options& options,
+                           const std::function<void(int pid)>& body) {
+  RME_CHECK(options.num_procs > 0 && options.num_procs <= kMaxProcs);
+  RME_CHECK_MSG(g_sched == nullptr, "nested DeterministicSim::Run");
+
+  Scheduler sched;
+  sched.rng = Prng(options.seed, 0xf1be5);
+  sched.max_steps = options.max_steps;
+  sched.body = &body;
+  sched.trace_capacity = options.trace_capacity;
+  if (sched.trace_capacity > 0) sched.trace.reserve(sched.trace_capacity);
+  sched.fibers.resize(static_cast<size_t>(options.num_procs));
+
+  // The scheduler thread's own ProcessContext must be preserved around
+  // the run (fibers overwrite the thread-local slot).
+  const ProcessContext host_ctx = CurrentProcess();
+
+  g_sched = &sched;
+  SetSimYieldHook(&FiberYield, &sched);
+
+  for (int i = 0; i < options.num_procs; ++i) {
+    Fiber& f = sched.fibers[static_cast<size_t>(i)];
+    f.pid = i;
+    f.stack.resize(options.stack_bytes);
+    getcontext(&f.ctx);
+    f.ctx.uc_stack.ss_sp = f.stack.data();
+    f.ctx.uc_stack.ss_size = f.stack.size();
+    f.ctx.uc_link = nullptr;
+    makecontext(&f.ctx, &Trampoline, 0);
+  }
+
+  std::vector<int> runnable;
+  runnable.reserve(sched.fibers.size());
+  for (;;) {
+    runnable.clear();
+    for (size_t i = 0; i < sched.fibers.size(); ++i) {
+      if (!sched.fibers[i].done) runnable.push_back(static_cast<int>(i));
+    }
+    if (runnable.empty()) break;
+    if (sched.steps++ > sched.max_steps) sched.overflow = true;
+
+    const int pick = runnable[sched.rng.NextBounded(runnable.size())];
+    sched.current = pick;
+    Fiber& f = sched.fibers[static_cast<size_t>(pick)];
+    if (sched.trace_capacity > 0) {
+      DeterministicSim::TraceEvent ev{sched.steps, f.pid, f.saved.last_site};
+      if (sched.trace.size() < sched.trace_capacity) {
+        sched.trace.push_back(ev);
+      } else {
+        sched.trace[sched.trace_next] = ev;
+        sched.trace_next = (sched.trace_next + 1) % sched.trace_capacity;
+        sched.trace_wrapped = true;
+      }
+    }
+    if (!f.started) {
+      f.started = true;
+      swapcontext(&sched.main_ctx, &f.ctx);  // enters Trampoline
+    } else {
+      swapcontext(&sched.main_ctx, &f.ctx);  // resumes inside FiberYield
+    }
+    sched.current = -1;
+  }
+
+  SetSimYieldHook(nullptr, nullptr);
+  g_sched = nullptr;
+  CurrentProcess() = host_ctx;
+  g_last_steps = sched.steps;
+  // Linearize the ring (oldest first) into the thread-local result slot.
+  g_last_trace.clear();
+  if (sched.trace_capacity > 0) {
+    if (sched.trace_wrapped) {
+      for (size_t i = 0; i < sched.trace.size(); ++i) {
+        g_last_trace.push_back(
+            sched.trace[(sched.trace_next + i) % sched.trace.size()]);
+      }
+    } else {
+      g_last_trace = sched.trace;
+    }
+  }
+  return !sched.overflow;
+}
+
+uint64_t DeterministicSim::LastRunSteps() { return g_last_steps; }
+
+std::vector<DeterministicSim::TraceEvent> DeterministicSim::LastRunTrace() {
+  return g_last_trace;
+}
+
+std::string DeterministicSim::FormatTrace(
+    const std::vector<TraceEvent>& trace) {
+  std::ostringstream os;
+  for (const TraceEvent& ev : trace) {
+    os << ev.step << " p" << ev.pid << " @ "
+       << (ev.site != nullptr && ev.site[0] != 0 ? ev.site : "<start>")
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rme

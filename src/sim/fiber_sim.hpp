@@ -1,0 +1,74 @@
+// Deterministic interleaving simulator.
+//
+// The thread-based harness (runtime/harness.hpp) exercises locks under
+// real OS scheduling, but on a small machine true interleavings are rare
+// and never reproducible. This module runs every simulated process as a
+// ucontext fiber on ONE thread and switches between them at every
+// instrumented shared-memory operation, with a seeded PRNG choosing the
+// next fiber. The result:
+//
+//  - every shared-memory interleaving the scheduler produces is
+//    deterministic in (seed, workload): failures reproduce exactly;
+//  - sweeping seeds explores radically different interleavings, far more
+//    than wall-clock scheduling ever hits — effectively a lightweight
+//    randomized model checker for the lock algorithms;
+//  - crash injection composes: a SiteCrash under the simulator yields a
+//    fully deterministic failure scenario.
+//
+// Mechanics: a scheduler hook (installed into the rmr instrumentation)
+// yields from the running fiber before every shared op; SpinPause yields
+// too, so spin-waiting fibers never monopolize the thread. Each fiber
+// owns a ProcessContext image that is swapped into the thread-local slot
+// around every switch.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rmr/counters.hpp"
+
+namespace rme {
+
+class DeterministicSim {
+ public:
+  struct Options {
+    int num_procs = 2;
+    uint64_t seed = 1;
+    /// Abort knob: total scheduler steps (ops across all fibers) before
+    /// the run is declared stuck (deadlock/livelock).
+    uint64_t max_steps = 50'000'000;
+    /// Stack bytes per fiber.
+    size_t stack_bytes = 256 * 1024;
+    /// Keep the last N scheduling events for post-mortem inspection
+    /// (0 disables tracing; tracing costs one ring-buffer write per step).
+    size_t trace_capacity = 0;
+  };
+
+  /// One scheduling decision: which process ran, at which shared-memory
+  /// site, at which step. A failing seed's tail of these is a minimal
+  /// reproduction script of the interleaving.
+  struct TraceEvent {
+    uint64_t step;
+    int pid;
+    const char* site;
+  };
+
+  /// `body(pid)` is the whole life of process pid (e.g. an Algorithm-1
+  /// loop); it runs on a fiber and must not block on OS primitives.
+  /// Returns true if every fiber ran to completion within max_steps.
+  static bool Run(const Options& options,
+                  const std::function<void(int pid)>& body);
+
+  /// Total scheduler steps consumed by the last Run on this thread.
+  static uint64_t LastRunSteps();
+
+  /// The last `Options::trace_capacity` scheduling events of the last
+  /// run on this thread (oldest first). Empty if tracing was off.
+  static std::vector<TraceEvent> LastRunTrace();
+
+  /// Renders a trace as "step pNN @ site" lines.
+  static std::string FormatTrace(const std::vector<TraceEvent>& trace);
+};
+
+}  // namespace rme

@@ -1,0 +1,88 @@
+#include "sim/sim_harness.hpp"
+
+#include <atomic>
+
+#include "crash/failure_log.hpp"
+#include "rmr/memory_model.hpp"
+#include "runtime/checkers.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+SimResult RunSimWorkload(RecoverableLock& lock, const SimWorkloadConfig& cfg,
+                         CrashController* crash) {
+  FailureLog failure_log(cfg.num_procs);
+  MeChecker checker(lock.IsStronglyRecoverable(), &failure_log);
+  rmr::Atomic<uint64_t> cs_scratch{0};
+
+  std::atomic<uint64_t> completed{0}, failures{0}, unsafe{0};
+  Summary cc[kMaxProcs], dsm[kMaxProcs];
+
+  auto body = [&](int pid) {
+    ProcessBinding bind(pid, crash);
+    ProcessContext& ctx = CurrentProcess();
+    for (uint64_t done = 0; done < cfg.passages_per_proc;) {
+      failure_log.OnRequestStart(pid);
+      bool satisfied = false;
+      while (!satisfied) {
+        bool in_cs = false;
+        const OpCounters s0 = ctx.counters;
+        try {
+          lock.Recover(pid);
+          lock.Enter(pid);
+          checker.EnterCS(pid);
+          in_cs = true;
+          for (int j = 0; j < cfg.cs_shared_ops; ++j) {
+            cs_scratch.FetchAdd(1, "cs.op");
+          }
+          in_cs = false;
+          checker.ExitCS(pid);
+          lock.Exit(pid);
+          const OpCounters d = ctx.counters - s0;
+          cc[pid].Add(static_cast<double>(d.cc_rmrs));
+          dsm[pid].Add(static_cast<double>(d.dsm_rmrs));
+          satisfied = true;
+        } catch (const ProcessCrash& cr) {
+          if (in_cs) checker.OnCrashInCS(pid);
+          failure_log.RecordFailure(
+              pid, cr.time, cr.site, cr.after_op,
+              lock.IsSensitiveSite(cr.site, cr.after_op));
+          failures.fetch_add(1, std::memory_order_relaxed);
+          if (lock.IsSensitiveSite(cr.site, cr.after_op)) {
+            unsafe.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        // RunAborted (stuck run) intentionally propagates: the fiber
+        // trampoline absorbs it and marks the fiber done.
+      }
+      failure_log.OnRequestComplete(pid);
+      ++done;
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+    ctx.crash = nullptr;
+    lock.OnProcessDone(pid);
+  };
+
+  DeterministicSim::Options options;
+  options.num_procs = cfg.num_procs;
+  options.seed = cfg.seed;
+  options.max_steps = cfg.max_steps;
+
+  SimResult result;
+  result.ran_to_completion = DeterministicSim::Run(options, body);
+  result.scheduler_steps = DeterministicSim::LastRunSteps();
+  result.completed_passages = completed.load();
+  result.failures = failures.load();
+  result.unsafe_failures = unsafe.load();
+  result.me_violations = checker.me_violations();
+  result.bcsr_violations = checker.bcsr_violations();
+  result.responsiveness_deficits = checker.responsiveness_deficits();
+  result.max_concurrent_cs = checker.max_concurrent();
+  for (int i = 0; i < cfg.num_procs; ++i) {
+    result.passage_cc.Merge(cc[i]);
+    result.passage_dsm.Merge(dsm[i]);
+  }
+  return result;
+}
+
+}  // namespace rme

@@ -1,0 +1,45 @@
+// Algorithm-1 workload driver for the deterministic fiber simulator:
+// the reproducible counterpart of runtime/harness.hpp. Same invariant
+// checking (ME with consequence-interval awareness, BCSR), fully
+// deterministic in (seed, config, crash controller).
+#pragma once
+
+#include <cstdint>
+
+#include "crash/crash.hpp"
+#include "locks/lock.hpp"
+#include "sim/fiber_sim.hpp"
+#include "util/stats.hpp"
+
+namespace rme {
+
+struct SimWorkloadConfig {
+  int num_procs = 3;
+  uint64_t passages_per_proc = 25;
+  uint64_t seed = 1;
+  int cs_shared_ops = 2;
+  uint64_t max_steps = 20'000'000;
+};
+
+struct SimResult {
+  bool ran_to_completion = false;  ///< false: stuck (deadlock/livelock)
+  uint64_t completed_passages = 0;
+  uint64_t failures = 0;
+  uint64_t unsafe_failures = 0;
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  /// Weak locks only: CS overlaps of k+1 processes seen with fewer than
+  /// k active unsafe failure intervals (Thm 4.2 would be violated).
+  /// Deterministic in the simulator, so an exact check.
+  uint64_t responsiveness_deficits = 0;
+  int max_concurrent_cs = 0;
+  uint64_t scheduler_steps = 0;
+  Summary passage_cc;
+  Summary passage_dsm;
+};
+
+/// Runs the Algorithm-1 loop for every process on the fiber simulator.
+SimResult RunSimWorkload(RecoverableLock& lock, const SimWorkloadConfig& cfg,
+                         CrashController* crash);
+
+}  // namespace rme

@@ -1,0 +1,37 @@
+// Lightweight invariant-checking macros used across the library.
+//
+// RME_CHECK is always on (it guards simulation invariants whose violation
+// would silently corrupt measured results); RME_DCHECK compiles away in
+// release builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rme::detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "RME_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace rme::detail
+
+#define RME_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::rme::detail::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RME_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::rme::detail::CheckFailed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+#ifdef NDEBUG
+#define RME_DCHECK(expr) ((void)0)
+#else
+#define RME_DCHECK(expr) RME_CHECK(expr)
+#endif

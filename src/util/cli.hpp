@@ -1,0 +1,28 @@
+// Tiny --flag=value command-line parser shared by bench and example
+// binaries. Unknown flags abort with a usage message so sweep scripts
+// fail loudly instead of silently running the wrong configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rme {
+
+class Cli {
+ public:
+  /// Parses argv of the form --name=value or --name (boolean true).
+  Cli(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace rme

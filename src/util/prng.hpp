@@ -1,0 +1,40 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Experiments must be exactly reproducible from a seed, including across
+// platforms, so we avoid std::mt19937's distribution quirks and implement
+// xoshiro256** with our own bounded-draw helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace rme {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+/// Each simulated process owns an independent stream (seeded by SplitMix64
+/// from a master seed + stream id), so adding a process never perturbs the
+/// random choices seen by the others.
+class Prng {
+ public:
+  Prng() : Prng(0xdeadbeefULL) {}
+  explicit Prng(uint64_t seed) { Seed(seed); }
+  Prng(uint64_t seed, uint64_t stream) { Seed(seed + 0x9e3779b97f4a7c15ULL * (stream + 1)); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform on [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform on [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace rme

@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rme {
+
+void Summary::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double Summary::mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+double Summary::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - count_ * m * m) / (count_ - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+void Percentiles::Add(double x) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+}
+
+double Percentiles::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+namespace {
+int BucketFor(uint64_t v) {
+  int b = 0;
+  while (v > 0 && b < 39) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+}  // namespace
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++total_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  total_ += other.total_;
+}
+
+uint64_t Histogram::MaxBucketEdge() const {
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (buckets_[i] > 0) return i == 0 ? 0 : (1ULL << i);
+  }
+  return 0;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1)) + (i == 1 ? 0 : 1);
+    const uint64_t hi = i == 0 ? 0 : (1ULL << i);
+    os << "[" << lo << "," << hi << "]: " << buckets_[i] << "  ";
+  }
+  return os.str();
+}
+
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  RME_CHECK(x.size() == y.size());
+  std::vector<double> lx, ly;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0 && y[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  return LinearSlope(lx, ly);
+}
+
+double LinearSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  RME_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::string ClassifyGrowth(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  const double s = LogLogSlope(x, y);
+  if (s < 0.15) return "O(1)";
+  if (s < 0.35) return "sublinear";
+  if (s < 0.70) return "~sqrt";
+  if (s < 1.30) return "~linear";
+  return "superlinear";
+}
+
+}  // namespace rme

@@ -1,0 +1,81 @@
+// Summary statistics, histograms, and growth-curve fitting used by the
+// benchmark harness to turn raw per-passage RMR counts into the rows the
+// paper's tables report and into empirical complexity-class verdicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rme {
+
+/// Streaming summary of a sequence of numeric samples.
+class Summary {
+ public:
+  void Add(double x);
+  void Merge(const Summary& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  /// Sample standard deviation (0 for fewer than 2 samples).
+  double stddev() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity reservoir that also records exact percentiles when the
+/// sample count stays within capacity (our experiments keep full samples).
+class Percentiles {
+ public:
+  explicit Percentiles(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  void Add(double x);
+  /// q in [0, 1]; returns 0 if empty.
+  double Quantile(double q) const;
+  size_t size() const { return samples_.size(); }
+
+ private:
+  size_t capacity_;
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+  uint64_t seen_ = 0;
+};
+
+/// Power-of-two bucketed histogram for per-passage RMR counts.
+class Histogram {
+ public:
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  std::string ToString() const;
+  uint64_t count() const { return total_; }
+  /// Upper edge of the highest non-empty bucket (0 if empty).
+  uint64_t MaxBucketEdge() const;
+
+ private:
+  static constexpr int kBuckets = 40;
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t total_ = 0;
+};
+
+/// Least-squares slope of log(y) against log(x) over paired samples with
+/// x, y > 0. A slope near 0 indicates O(1) growth, near 0.5 indicates
+/// sqrt growth, near 1 linear growth. Used by the Table-2 classifier.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Least-squares slope of y against x (plain linear fit).
+double LinearSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Classify a growth curve (y as a function of x) into a coarse class
+/// string: "O(1)", "sublinear", "~sqrt", "~linear", "superlinear".
+std::string ClassifyGrowth(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
+}  // namespace rme

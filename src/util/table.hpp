@@ -1,0 +1,32 @@
+// Minimal aligned-ASCII / CSV table writer. Every bench binary prints the
+// same rows the paper's tables report; this keeps that output uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rme {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; missing trailing cells render empty, extra cells abort.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(uint64_t v);
+
+  /// Renders an aligned, pipe-separated text table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (no embedded quoting needed for our data).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rme

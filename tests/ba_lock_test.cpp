@@ -1,0 +1,133 @@
+// Tests for BA-Lock (§5.2): construction, strong ME under crash storms,
+// escalation-level accounting, and the Theorem-5.17 bound that reaching
+// level x requires at least x(x-1)/2 overlapping failures.
+#include <gtest/gtest.h>
+
+#include "core/ba_lock.hpp"
+#include "crash/crash.hpp"
+#include "locks/tree_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(BaLock, DefaultConstruction) {
+  auto ba = BaLock::WithDefaultBase(16);
+  EXPECT_GE(ba->levels(), 1);
+  EXPECT_NE(ba->name().find("ba-lock"), std::string::npos);
+  EXPECT_TRUE(ba->IsStronglyRecoverable());
+}
+
+TEST(BaLock, SingleProcessPassages) {
+  auto ba = BaLock::WithDefaultBase(4);
+  ProcessBinding bind(0, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    ba->Recover(0);
+    ba->Enter(0);
+    EXPECT_EQ(ba->LastLevelOf(0), 1) << "failure-free stays at level 1";
+    ba->Exit(0);
+  }
+}
+
+TEST(BaLock, FailureFreeContentionStaysLevelOne) {
+  auto ba = BaLock::WithDefaultBase(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 200;
+  const RunResult r = RunWorkload(*ba, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 200u);
+  EXPECT_EQ(r.level_reached.max(), 1.0) << "no failures => no escalation";
+}
+
+TEST(BaLock, FailureFreeRmrIsConstantIndependentOfN) {
+  double mean_small = 0, mean_large = 0;
+  for (int n : {4, 32}) {
+    auto ba = BaLock::WithDefaultBase(n);
+    WorkloadConfig cfg;
+    cfg.num_procs = n;
+    cfg.passages_per_proc = 120;
+    const RunResult r = RunWorkload(*ba, cfg, nullptr);
+    EXPECT_FALSE(r.aborted);
+    (n == 4 ? mean_small : mean_large) = r.passage.cc.mean();
+  }
+  // O(1): the big-n mean must not grow with n (allow 50% noise).
+  EXPECT_LE(mean_large, mean_small * 1.5 + 10.0);
+}
+
+TEST(BaLock, CrashStormKeepsStrongMEAndLiveness) {
+  auto ba = BaLock::WithDefaultBase(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 120;
+  cfg.seed = 9;
+  RandomCrash crash(83, 0.0015, -1);
+  const RunResult r = RunWorkload(*ba, cfg, &crash);
+  EXPECT_FALSE(r.aborted) << "starvation freedom under crash storm";
+  EXPECT_EQ(r.me_violations, 0u) << "BA-Lock is strongly recoverable";
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 120u);
+}
+
+TEST(BaLock, Theorem517LevelRequiresQuadraticFailures) {
+  // Inject exactly F failures; no passage may escalate past the level x
+  // with x(x-1)/2 <= F_overlapping. We use total F as the (loose) bound.
+  for (int64_t budget : {1, 3, 6}) {
+    auto ba = std::make_unique<BaLock>(
+        8, 6, std::make_unique<TournamentLock>(8, "ba.base"));
+    WorkloadConfig cfg;
+    cfg.num_procs = 8;
+    cfg.passages_per_proc = 100;
+    cfg.seed = static_cast<uint64_t>(budget) * 13;
+    RandomCrash crash(97 + static_cast<uint64_t>(budget), 0.003, budget);
+    const RunResult r = RunWorkload(*ba, cfg, &crash);
+    EXPECT_FALSE(r.aborted);
+    EXPECT_EQ(r.me_violations, 0u);
+    const int max_level = static_cast<int>(r.level_reached.max());
+    // Thm 5.17: reaching level x needs >= x(x-1)/2 failures overall.
+    EXPECT_LE(static_cast<int64_t>(max_level) * (max_level - 1) / 2, budget)
+        << "level " << max_level << " reached with only " << budget
+        << " failures";
+  }
+}
+
+TEST(BaLock, ManualLevelCountIsRespected) {
+  auto ba = std::make_unique<BaLock>(
+      4, 3, std::make_unique<TournamentLock>(4, "ba.base"), "bam");
+  EXPECT_EQ(ba->levels(), 3);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 80;
+  RandomCrash crash(101, 0.002, -1);
+  const RunResult r = RunWorkload(*ba, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  // Max reported level is the base (m+1) at most.
+  EXPECT_LE(r.level_reached.max(), 4.0);
+}
+
+TEST(BaLock, SensitiveSitesAreTheLevelFilters) {
+  auto ba = std::make_unique<BaLock>(
+      4, 2, std::make_unique<TournamentLock>(4, "ba.base"), "bax");
+  EXPECT_TRUE(ba->IsSensitiveSite("bax.L1.filter.tail.fas", true));
+  EXPECT_TRUE(ba->IsSensitiveSite("bax.L2.filter.tail.fas", true));
+  EXPECT_FALSE(ba->IsSensitiveSite("bax.L1.arb.op", true));
+  EXPECT_FALSE(ba->IsSensitiveSite("ba.base.L0.0.op", true));
+}
+
+TEST(BaLock, StatsCoverAllLevels) {
+  auto ba = std::make_unique<BaLock>(
+      4, 2, std::make_unique<TournamentLock>(4, "ba.base"), "bas");
+  ProcessBinding bind(0, nullptr);
+  ba->Recover(0);
+  ba->Enter(0);
+  ba->Exit(0);
+  const std::string s = ba->StatsString();
+  EXPECT_NE(s.find("bas.L1"), std::string::npos);
+  EXPECT_NE(s.find("bas.L2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rme

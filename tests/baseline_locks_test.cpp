@@ -1,0 +1,123 @@
+// Tests for the Table-1 baseline locks: GrAdaptiveLock (O(F) adaptive
+// unbounded), GrSemiLock (O(n) semi-adaptive bounded) and TicketRLock
+// (Chan–Woelfel-style): ME, recovery, liveness, and regime behaviour.
+#include <gtest/gtest.h>
+
+#include "crash/crash.hpp"
+#include "locks/gr_adaptive_lock.hpp"
+#include "locks/gr_semi_lock.hpp"
+#include "locks/ticket_rlock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+template <typename LockT>
+class BaselineLockTest : public ::testing::Test {};
+
+using BaselineTypes =
+    ::testing::Types<GrAdaptiveLock, GrSemiLock, TicketRLock>;
+TYPED_TEST_SUITE(BaselineLockTest, BaselineTypes);
+
+TYPED_TEST(BaselineLockTest, SingleProcessPassages) {
+  TypeParam lock(4);
+  ProcessBinding bind(0, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+  }
+}
+
+TYPED_TEST(BaselineLockTest, MutualExclusionUnderContention) {
+  TypeParam lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 250;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.max_concurrent_cs, 1);
+  EXPECT_EQ(r.completed_passages, 8u * 250u);
+}
+
+TYPED_TEST(BaselineLockTest, CrashStormStaysExclusiveAndLive) {
+  TypeParam lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 120;
+  cfg.seed = 11;
+  RandomCrash crash(53, 0.0015, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted) << "liveness under crash storm";
+  EXPECT_EQ(r.me_violations, 0u) << "strong ME";
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 120u);
+}
+
+TYPED_TEST(BaselineLockTest, FailureFreeRmrIsConstant) {
+  TypeParam lock(16);
+  WorkloadConfig cfg;
+  cfg.num_procs = 16;
+  cfg.passages_per_proc = 150;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_LE(r.passage.cc.mean(), 30.0) << "O(1) failure-free";
+}
+
+TEST(GrAdaptiveLock, EpochBumpsTrackFailures) {
+  GrAdaptiveLock lock(4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 150;
+  RandomCrash crash(61, 0.002, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_GT(lock.EpochRaw(), 0u) << "failures should reset the lock";
+  // Not every crash lands in the Trying window, so bumps <= failures.
+  EXPECT_LE(lock.EpochRaw(), r.failures);
+}
+
+TEST(GrSemiLock, AnyFailureCostsThetaN) {
+  // Semi-adaptive signature: a passage that witnesses a failure pays an
+  // O(n) bill; failure-free passages stay O(1).
+  const int n = 32;
+  GrSemiLock lock(n);
+  WorkloadConfig cfg;
+  cfg.num_procs = n;
+  cfg.passages_per_proc = 60;
+  RandomCrash crash(67, 0.0015, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  // Max passage cost should reflect the Theta(n) reset scan.
+  EXPECT_GE(r.passage.cc.max(), static_cast<double>(n));
+}
+
+TEST(GrAdaptiveLock, CrashInCsReentersDirectly) {
+  GrAdaptiveLock lock(2);
+  ProcessBinding bind(0, nullptr);
+  ProcessContext& ctx = CurrentProcess();
+  lock.Recover(0);
+  lock.Enter(0);
+  // Simulated crash in CS: re-entry must be bounded (BCSR).
+  const OpCounters before = ctx.counters;
+  lock.Recover(0);
+  lock.Enter(0);
+  EXPECT_LE((ctx.counters - before).ops, 8u);
+  lock.Exit(0);
+}
+
+TEST(TicketRLock, ExposesFifoThroughPortLock) {
+  TicketRLock lock(4);
+  ProcessBinding bind(2, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    lock.Recover(2);
+    lock.Enter(2);
+    lock.Exit(2);
+  }
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,176 @@
+// Unit tests for the crash-injection controllers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+TEST(NeverCrash, NeverFires) {
+  NeverCrash c;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(c.ShouldCrash(0, "x", true));
+  }
+  EXPECT_EQ(c.crashes(), 0u);
+}
+
+TEST(RandomCrash, RespectsBudget) {
+  RandomCrash c(1, /*p=*/1.0, /*budget=*/5);
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) fired += c.ShouldCrash(0, "x", true);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(c.crashes(), 5u);
+}
+
+TEST(RandomCrash, OnlyFiresOnAfterProbe) {
+  RandomCrash c(1, 1.0, -1);
+  EXPECT_FALSE(c.ShouldCrash(0, "x", false));
+  EXPECT_TRUE(c.ShouldCrash(0, "x", true));
+}
+
+TEST(RandomCrash, RateRoughlyMatchesProbability) {
+  RandomCrash c(99, 0.01, -1);
+  int fired = 0;
+  for (int i = 0; i < 100000; ++i) fired += c.ShouldCrash(3, "x", true);
+  EXPECT_NEAR(fired / 100000.0, 0.01, 0.003);
+}
+
+TEST(RandomCrash, BudgetSharedAcrossProcesses) {
+  RandomCrash c(1, 1.0, 10);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> ts;
+  for (int pid = 0; pid < 4; ++pid) {
+    ts.emplace_back([&, pid] {
+      for (int i = 0; i < 100; ++i) fired += c.ShouldCrash(pid, "x", true);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(fired.load(), 10);
+}
+
+TEST(SiteCrash, FiresOnNthOccurrence) {
+  SiteCrash c(2, "fas", true, /*nth=*/3);
+  EXPECT_FALSE(c.ShouldCrash(2, "fas", true));  // 1st
+  EXPECT_FALSE(c.ShouldCrash(2, "fas", true));  // 2nd
+  EXPECT_FALSE(c.ShouldCrash(1, "fas", true));  // wrong pid
+  EXPECT_FALSE(c.ShouldCrash(2, "other", true));
+  EXPECT_FALSE(c.ShouldCrash(2, "fas", false));  // wrong phase
+  EXPECT_TRUE(c.ShouldCrash(2, "fas", true));    // 3rd
+  EXPECT_FALSE(c.ShouldCrash(2, "fas", true));   // one-shot
+}
+
+TEST(SiteCrash, CountAllowsRepeats) {
+  SiteCrash c(0, "s", true, 1, /*count=*/2);
+  EXPECT_TRUE(c.ShouldCrash(0, "s", true));
+  EXPECT_TRUE(c.ShouldCrash(0, "s", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "s", true));
+}
+
+TEST(NthOpCrash, CountsPerProcessOps) {
+  NthOpCrash c(1, 3);
+  EXPECT_FALSE(c.ShouldCrash(1, "a", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "a", true));  // other pid not counted
+  EXPECT_FALSE(c.ShouldCrash(1, "b", true));
+  EXPECT_TRUE(c.ShouldCrash(1, "c", true));
+  EXPECT_FALSE(c.ShouldCrash(1, "d", true));
+}
+
+TEST(BatchCrash, FiresEachBatchMemberOnce) {
+  // Batch at logical time 0 (already reached): pids 0 and 2.
+  BatchCrash c({{0, 0b101}});
+  EXPECT_TRUE(c.ShouldCrash(0, "x", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "x", true));  // already fired
+  EXPECT_FALSE(c.ShouldCrash(1, "x", true));  // not in batch
+  EXPECT_TRUE(c.ShouldCrash(2, "x", true));
+  EXPECT_EQ(c.crashes(), 2u);
+}
+
+TEST(BatchCrash, WaitsForLogicalTime) {
+  const uint64_t future = LogicalNow() + 5;
+  BatchCrash c({{future, 0b1}});
+  EXPECT_FALSE(c.ShouldCrash(0, "x", true));
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{0};
+  for (int i = 0; i < 6; ++i) v.Store(1);
+  EXPECT_TRUE(c.ShouldCrash(0, "x", true));
+}
+
+TEST(CompositeCrash, DelegatesInOrder) {
+  SiteCrash a(0, "s1", true);
+  SiteCrash b(0, "s2", true);
+  CompositeCrash c({&a, &b});
+  EXPECT_TRUE(c.ShouldCrash(0, "s2", true));
+  EXPECT_TRUE(c.ShouldCrash(0, "s1", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "s1", true));
+  EXPECT_EQ(c.crashes(), 2u);
+}
+
+TEST(CrashThrow, UnwindsThroughInstrumentedOp) {
+  SiteCrash crash(0, "boom", true);
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  bool caught = false;
+  try {
+    v.Store(1, "boom");
+  } catch (const ProcessCrash& cr) {
+    caught = true;
+    EXPECT_EQ(cr.pid, 0);
+    EXPECT_STREQ(cr.site, "boom");
+    EXPECT_TRUE(cr.after_op);
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(v.RawLoad(), 1u);  // after-op crash: effect persisted
+}
+
+
+TEST(SpacedSiteCrash, MatchesBySuffixWithPeriodAndBudget) {
+  SpacedSiteCrash c("tail.fas", /*period=*/3, /*budget=*/2);
+  int fired = 0;
+  for (int i = 0; i < 30; ++i) {
+    fired += c.ShouldCrash(i % 4, "wr.tail.fas", true);
+  }
+  EXPECT_EQ(fired, 2);  // budget caps it
+  EXPECT_EQ(c.crashes(), 2u);
+}
+
+TEST(SpacedSiteCrash, PeriodSpacing) {
+  SpacedSiteCrash c("x", /*period=*/5, /*budget=*/100);
+  std::vector<int> fire_at;
+  for (int i = 1; i <= 25; ++i) {
+    if (c.ShouldCrash(0, "a.x", true)) fire_at.push_back(i);
+  }
+  EXPECT_EQ(fire_at, (std::vector<int>{5, 10, 15, 20, 25}));
+}
+
+TEST(SpacedSiteCrash, SuffixMustMatchEnd) {
+  SpacedSiteCrash c("tail.fas", 1, 100);
+  EXPECT_FALSE(c.ShouldCrash(0, "tail.fas.other", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "fas", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "wr.tail.fas", false));  // wrong phase
+  EXPECT_TRUE(c.ShouldCrash(0, "wr.tail.fas", true));
+  EXPECT_TRUE(c.ShouldCrash(0, "tail.fas", true));  // exact match counts
+}
+
+TEST(SpacedSiteCrash, EmptySuffixMatchesEverything) {
+  SpacedSiteCrash c("", 2, 100);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += c.ShouldCrash(0, "anything", true);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(BatchCrash, SiteSuffixRestrictsBatchMembers) {
+  BatchCrash c({{0, 0b11}}, "tail.fas");
+  EXPECT_FALSE(c.ShouldCrash(0, "other.op", true));  // wrong site
+  EXPECT_TRUE(c.ShouldCrash(0, "f.tail.fas", true));
+  EXPECT_FALSE(c.ShouldCrash(0, "f.tail.fas", true));  // fired already
+  EXPECT_TRUE(c.ShouldCrash(1, "g.tail.fas", true));
+  EXPECT_FALSE(c.ShouldCrash(2, "g.tail.fas", true));  // not in batch
+}
+
+}  // namespace
+}  // namespace rme

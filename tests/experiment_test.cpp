@@ -1,0 +1,60 @@
+// Tests for the scenario helpers (runtime/experiment.*): labels, regime
+// wiring, and the named-lock entry point.
+#include <gtest/gtest.h>
+
+#include "core/lock_registry.hpp"
+#include "runtime/experiment.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Scenario, Labels) {
+  EXPECT_EQ(Scenario::None().Label(), "no-failures");
+  EXPECT_EQ(Scenario::Budgeted(12).Label(), "F=12");
+  EXPECT_EQ(Scenario::Sustained(0.25).Label().rfind("sustained(", 0), 0u);
+}
+
+TEST(Scenario, NoFailuresInjectsNothing) {
+  WorkloadConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 30;
+  const RunResult r = RunScenario("wr", cfg, Scenario::None());
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(r.completed_passages, 60u);
+}
+
+TEST(Scenario, BudgetedInjectsAtMostF) {
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 200;
+  cfg.seed = 77;
+  const RunResult r = RunScenario("wr", cfg, Scenario::Budgeted(5, 0.01));
+  EXPECT_FALSE(r.aborted);
+  EXPECT_LE(r.failures, 5u);
+  EXPECT_GT(r.failures, 0u) << "a 1% rate over this run should hit the cap";
+}
+
+TEST(Scenario, SustainedKeepsInjecting) {
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 150;
+  cfg.seed = 78;
+  const RunResult r = RunScenario("wr", cfg, Scenario::Sustained(0.002));
+  EXPECT_FALSE(r.aborted);
+  EXPECT_GT(r.failures, 20u);
+  EXPECT_EQ(r.completed_passages, 600u);
+}
+
+TEST(Scenario, WorksWithExistingInstance) {
+  auto lock = MakeLock("ba", 3);
+  WorkloadConfig cfg;
+  cfg.num_procs = 3;
+  cfg.passages_per_proc = 20;
+  const RunResult r = RunScenario(*lock, cfg, Scenario::None());
+  EXPECT_EQ(r.completed_passages, 60u);
+  EXPECT_EQ(r.me_violations, 0u);
+}
+
+}  // namespace
+}  // namespace rme

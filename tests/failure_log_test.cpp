@@ -1,0 +1,88 @@
+// Unit tests for consequence-interval bookkeeping (Def 3.1).
+#include <gtest/gtest.h>
+
+#include "crash/failure_log.hpp"
+
+namespace rme {
+namespace {
+
+TEST(FailureLog, NoFailuresNothingActive) {
+  FailureLog log(4);
+  EXPECT_EQ(log.TotalFailures(), 0u);
+  EXPECT_EQ(log.ActiveFailures(), 0u);
+  EXPECT_FALSE(log.AnyActive());
+}
+
+TEST(FailureLog, IntervalEndsWhenPendingRequestsSatisfied) {
+  FailureLog log(3);
+  log.OnRequestStart(0);
+  log.OnRequestStart(1);
+  log.RecordFailure(0, 10, "site", true, true);
+  // Both requests were pending at the failure: interval active.
+  EXPECT_EQ(log.ActiveFailures(), 1u);
+  log.OnRequestComplete(0);
+  EXPECT_EQ(log.ActiveFailures(), 1u);  // p1 still pending
+  log.OnRequestComplete(1);
+  EXPECT_EQ(log.ActiveFailures(), 0u);  // Def 3.1: all pre-failure
+                                        // requests satisfied
+}
+
+TEST(FailureLog, RequestsAfterFailureDoNotExtendInterval) {
+  FailureLog log(2);
+  log.OnRequestStart(0);
+  log.RecordFailure(0, 5, "s", true, false);
+  log.OnRequestComplete(0);
+  // A new request started after the failure is not in its snapshot.
+  log.OnRequestStart(1);
+  EXPECT_EQ(log.ActiveFailures(), 0u);
+}
+
+TEST(FailureLog, UnsafeOnlyFilter) {
+  FailureLog log(2);
+  log.OnRequestStart(0);
+  log.RecordFailure(0, 1, "safe-site", true, false);
+  log.RecordFailure(0, 2, "fas-site", true, true);
+  EXPECT_EQ(log.ActiveFailures(), 2u);
+  EXPECT_EQ(log.ActiveFailures(/*unsafe_only=*/true), 1u);
+}
+
+TEST(FailureLog, RecordsCarryMetadata) {
+  FailureLog log(2);
+  log.OnRequestStart(1);
+  log.RecordFailure(1, 99, "wr.tail.fas", true, true);
+  const auto records = log.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].pid, 1);
+  EXPECT_EQ(records[0].time, 99u);
+  EXPECT_EQ(records[0].site, "wr.tail.fas");
+  EXPECT_TRUE(records[0].unsafe);
+  EXPECT_EQ(records[0].pending_req[1], 1u);
+  EXPECT_EQ(records[0].pending_req[0], 0u);
+}
+
+TEST(FailureLog, MultipleFailuresCountedIndependently) {
+  FailureLog log(4);
+  log.OnRequestStart(0);
+  log.RecordFailure(0, 1, "s", true, true);
+  log.OnRequestComplete(0);
+  log.OnRequestStart(1);
+  log.RecordFailure(1, 2, "s", true, true);
+  EXPECT_EQ(log.TotalFailures(), 2u);
+  EXPECT_EQ(log.ActiveFailures(), 1u);  // only the second is active
+  log.OnRequestComplete(1);
+  EXPECT_EQ(log.ActiveFailures(), 0u);
+}
+
+TEST(FailureLog, SuperPassageSpansMultipleAttempts) {
+  FailureLog log(2);
+  const uint64_t req = log.OnRequestStart(0);
+  EXPECT_EQ(req, 1u);
+  log.RecordFailure(0, 1, "s", true, false);  // attempt 1 crashes
+  log.RecordFailure(0, 2, "s", true, false);  // attempt 2 crashes
+  EXPECT_EQ(log.ActiveFailures(), 2u);
+  log.OnRequestComplete(0);  // attempt 3 is failure-free
+  EXPECT_EQ(log.ActiveFailures(), 0u);
+}
+
+}  // namespace
+}  // namespace rme

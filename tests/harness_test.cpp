@@ -1,0 +1,125 @@
+// Tests for the thread-based harness itself: segment accounting, victim
+// and overlap-conditioned statistics, level reporting, and the stall
+// watchdog.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ba_lock.hpp"
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "locks/tree_lock.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Harness, CountsAndSegmentsFailureFree) {
+  auto lock = MakeLock("wr", 4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 50;
+  const RunResult r = RunWorkload(*lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.completed_passages, 200u);
+  EXPECT_EQ(r.total_attempts, 200u);  // no retries without crashes
+  EXPECT_EQ(r.failures, 0u);
+  // Segment decomposition must account for the whole passage.
+  EXPECT_EQ(r.passage.cc.count(), 200u);
+  EXPECT_NEAR(r.passage.cc.mean(),
+              r.recover.cc.mean() + r.enter.cc.mean() + r.exit_seg.cc.mean(),
+              1e-9);
+  // All failure-free passages land in overlap bucket 0.
+  ASSERT_EQ(r.by_overlap.size(), 1u);
+  EXPECT_EQ(r.by_overlap.begin()->first, 0);
+  EXPECT_EQ(r.by_overlap.begin()->second.cc.count(), 200u);
+  EXPECT_EQ(r.victim_passage.cc.count(), 0u);
+}
+
+TEST(Harness, CrashesProduceAttemptsVictimsAndBuckets) {
+  auto lock = MakeLock("wr", 4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 100;
+  cfg.seed = 5;
+  RandomCrash crash(3, 0.004, -1);
+  const RunResult r = RunWorkload(*lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.completed_passages, 400u);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(r.total_attempts, 400u + r.failures);
+  EXPECT_GT(r.victim_passage.cc.count(), 0u);
+  // Some passages must have overlapped at least one failure interval.
+  uint64_t nonzero_bucket_passages = 0;
+  for (const auto& [bucket, seg] : r.by_overlap) {
+    if (bucket > 0) nonzero_bucket_passages += seg.cc.count();
+  }
+  EXPECT_GT(nonzero_bucket_passages, 0u);
+  EXPECT_EQ(r.failure_records.size(), r.failures);
+}
+
+TEST(Harness, LevelReportingComesFromBaLock) {
+  auto ba = BaLock::WithDefaultBase(4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 40;
+  const RunResult r = RunWorkload(*ba, cfg, nullptr);
+  EXPECT_EQ(r.level_reached.count(), r.completed_passages);
+  EXPECT_EQ(r.level_reached.max(), 1.0);
+  // Non-BA locks report no level data.
+  auto wr = MakeLock("wr", 4);
+  const RunResult r2 = RunWorkload(*wr, cfg, nullptr);
+  EXPECT_EQ(r2.level_reached.count(), 0u);
+}
+
+// A lock that deadlocks its second claimant: the watchdog must abort the
+// run rather than hang the suite.
+class DeadlockLock final : public RecoverableLock {
+ public:
+  void Recover(int) override {}
+  void Enter(int pid) override {
+    uint64_t iter = 0;
+    if (!gate_.CompareExchange(0, static_cast<uint64_t>(pid) + 1)) {
+      while (true) SpinPause(iter++);  // never released
+    }
+  }
+  void Exit(int) override {}  // never releases the gate
+  std::string name() const override { return "deadlock"; }
+
+ private:
+  rmr::Atomic<uint64_t> gate_{0};
+};
+
+TEST(Harness, WatchdogAbortsDeadlockedRun) {
+  DeadlockLock lock;
+  WorkloadConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 10;
+  cfg.watchdog_seconds = 0.3;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.completed_passages, 20u);
+}
+
+TEST(Harness, BoundedStepObservationsArePopulated) {
+  auto lock = MakeLock("tournament", 4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 50;
+  const RunResult r = RunWorkload(*lock, cfg, nullptr);
+  EXPECT_GT(r.max_exit_ops, 0u);
+  EXPECT_GT(r.passages_per_second, 0.0);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST(Harness, LockStatsArePropagated) {
+  auto sa = MakeLock("sa", 2);
+  WorkloadConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 10;
+  const RunResult r = RunWorkload(*sa, cfg, nullptr);
+  EXPECT_NE(r.lock_stats.find("fast="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,113 @@
+// Whole-zoo property sweep: every recoverable lock x several process
+// counts x several crash regimes must preserve its contract — strong ME
+// (or failure-scoped weak ME), BCSR, liveness, and full completion.
+// This is the paper's correctness section as a parameterized test.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+struct Case {
+  std::string lock;
+  int n;
+  double crash_p;  // 0 = failure-free
+};
+
+class ZooInvariants : public ::testing::TestWithParam<Case> {};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.lock + "_n" + std::to_string(info.param.n) +
+                     (info.param.crash_p > 0 ? "_crashy" : "_clean");
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+TEST_P(ZooInvariants, ContractHolds) {
+  const Case& c = GetParam();
+  auto lock = MakeLock(c.lock, c.n);
+  WorkloadConfig cfg;
+  cfg.num_procs = c.n;
+  cfg.passages_per_proc = c.crash_p > 0 ? 80 : 150;
+  cfg.seed = static_cast<uint64_t>(c.n) * 31 + 7;
+
+  std::unique_ptr<CrashController> crash;
+  if (c.crash_p > 0) {
+    crash = std::make_unique<RandomCrash>(cfg.seed + 1, c.crash_p, -1);
+  }
+  const RunResult r = RunWorkload(*lock, cfg, crash.get());
+
+  EXPECT_FALSE(r.aborted) << "liveness/starvation-freedom";
+  EXPECT_EQ(r.completed_passages,
+            static_cast<uint64_t>(c.n) * cfg.passages_per_proc)
+      << "every request satisfied";
+  EXPECT_EQ(r.me_violations, 0u)
+      << (lock->IsStronglyRecoverable()
+              ? "strong lock must never overlap in CS"
+              : "weak lock may overlap only inside consequence intervals");
+  if (lock->IsStronglyRecoverable()) {
+    EXPECT_EQ(r.bcsr_violations, 0u) << "critical-section reentry";
+    EXPECT_EQ(r.max_concurrent_cs, 1);
+  }
+  if (c.crash_p == 0) {
+    EXPECT_EQ(r.failures, 0u);
+    EXPECT_EQ(r.max_concurrent_cs, 1);
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const auto& lock : RecoverableLockNames()) {
+    for (int n : {2, 7, 16}) {
+      cases.push_back({lock, n, 0.0});
+      cases.push_back({lock, n, 0.0015});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, ZooInvariants,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// The responsiveness property (Thm 4.2) for the weak lock: under heavy
+// unsafe-failure injection, every observed CS overlap must be covered by
+// active consequence intervals (the checker verifies per overlap).
+TEST(WeakResponsiveness, OverlapsOnlyInsideConsequenceIntervals) {
+  auto lock = MakeLock("wr", 8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 150;
+  cfg.seed = 1234;
+  RandomCrash crash(11, 0.004, -1);
+  const RunResult r = RunWorkload(*lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u)
+      << "every overlap must coincide with an active failure interval";
+}
+
+// Bounded exit / bounded recovery across the zoo (failure-free): these
+// segments must complete within a small constant number of steps.
+TEST(BoundedSegments, RecoverAndExitAreBounded) {
+  for (const auto& name : RecoverableLockNames()) {
+    auto lock = MakeLock(name, 8);
+    WorkloadConfig cfg;
+    cfg.num_procs = 8;
+    cfg.passages_per_proc = 100;
+    const RunResult r = RunWorkload(*lock, cfg, nullptr);
+    EXPECT_FALSE(r.aborted) << name;
+    // Tree-structured locks recover per node, so allow depth headroom.
+    EXPECT_LE(r.max_recover_ops, 160u) << name;
+    EXPECT_LE(r.max_exit_ops, 160u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rme

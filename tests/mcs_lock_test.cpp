@@ -1,0 +1,103 @@
+// Tests for the non-recoverable MCS baseline: mutual exclusion under
+// contention and the textbook O(1) RMR profile.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "locks/mcs_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(McsLock, SingleProcessAcquireRelease) {
+  McsLock lock(1);
+  ProcessBinding bind(0, nullptr);
+  lock.Enter(0);
+  lock.Exit(0);
+  lock.Enter(0);
+  lock.Exit(0);
+}
+
+TEST(McsLock, MutualExclusionUnderContention) {
+  const int n = 8;
+  McsLock lock(n);
+  WorkloadConfig cfg;
+  cfg.num_procs = n;
+  cfg.passages_per_proc = 500;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.max_concurrent_cs, 1);
+  EXPECT_EQ(r.completed_passages, 8u * 500u);
+}
+
+TEST(McsLock, UncontendedRmrIsConstant) {
+  McsLock lock(4);
+  ProcessBinding bind(0, nullptr);
+  ProcessContext& ctx = CurrentProcess();
+  // Warm up.
+  lock.Enter(0);
+  lock.Exit(0);
+  for (int i = 0; i < 10; ++i) {
+    const OpCounters before = ctx.counters;
+    lock.Enter(0);
+    lock.Exit(0);
+    const OpCounters d = ctx.counters - before;
+    EXPECT_LE(d.cc_rmrs, 6u) << "uncontended MCS passage should be O(1)";
+    EXPECT_LE(d.dsm_rmrs, 6u);
+  }
+}
+
+TEST(McsLock, HandoffFollowsFifoOrder) {
+  // p0 holds the lock; p1 then p2 queue up (serialized by sleeps long
+  // enough to order their FAS). Release order must be p1 before p2.
+  McsLock lock(3);
+  std::atomic<int> stage{0};
+  std::vector<int> order;
+  std::mutex order_mu;
+
+  std::thread t0([&] {
+    ProcessBinding bind(0, nullptr);
+    lock.Enter(0);
+    stage = 1;
+    while (stage < 3) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    lock.Exit(0);
+  });
+  std::thread t1([&] {
+    ProcessBinding bind(1, nullptr);
+    while (stage < 1) std::this_thread::yield();
+    stage = 2;
+    lock.Enter(1);  // queues behind p0
+    {
+      std::lock_guard<std::mutex> lk(order_mu);
+      order.push_back(1);
+    }
+    lock.Exit(1);
+  });
+  std::thread t2([&] {
+    ProcessBinding bind(2, nullptr);
+    while (stage < 2) std::this_thread::yield();
+    // Give t1 time to complete its FAS before we queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stage = 3;
+    lock.Enter(2);
+    {
+      std::lock_guard<std::mutex> lk(order_mu);
+      order.push_back(2);
+    }
+    lock.Exit(2);
+  });
+  t0.join();
+  t1.join();
+  t2.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,70 @@
+// Native-mode smoke tests: the identical lock sources compiled against
+// bare std::atomic (RME_NATIVE_ATOMICS) must still provide mutual
+// exclusion under real threads — no instrumentation crutches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+#ifndef RME_NATIVE_ATOMICS
+#error "native_test must be compiled against rme_native"
+#endif
+
+void HammerLock(const std::string& name, int n, int iters) {
+  auto lock = MakeLock(name, n);
+  std::atomic<int> in_cs{0};
+  std::atomic<int> violations{0};
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> threads;
+  for (int pid = 0; pid < n; ++pid) {
+    threads.emplace_back([&, pid] {
+      ProcessBinding bind(pid, nullptr);
+      for (int i = 0; i < iters; ++i) {
+        lock->Recover(pid);
+        lock->Enter(pid);
+        if (in_cs.fetch_add(1) != 0) violations.fetch_add(1);
+        std::this_thread::yield();  // widen the violation window
+        in_cs.fetch_sub(1);
+        lock->Exit(pid);
+        done.fetch_add(1);
+      }
+      lock->OnProcessDone(pid);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0) << name;
+  EXPECT_EQ(done.load(), static_cast<uint64_t>(n) * iters) << name;
+}
+
+TEST(Native, McsMutualExclusion) { HammerLock("mcs", 8, 2000); }
+TEST(Native, WrMutualExclusion) { HammerLock("wr", 8, 1500); }
+TEST(Native, BaMutualExclusion) { HammerLock("ba", 8, 800); }
+TEST(Native, IterBaMutualExclusion) { HammerLock("ba-iter", 8, 800); }
+TEST(Native, KPortTreeMutualExclusion) { HammerLock("kport-tree", 8, 1500); }
+TEST(Native, YaTournamentMutualExclusion) {
+  HammerLock("ya-tournament", 8, 1500);
+}
+TEST(Native, TicketMutualExclusion) { HammerLock("cw-ticket", 8, 1500); }
+
+TEST(Native, EveryLockSingleProcess) {
+  for (const auto& name : AllLockNames()) {
+    auto lock = MakeLock(name, 2);
+    ProcessBinding bind(0, nullptr);
+    for (int i = 0; i < 20; ++i) {
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+    }
+    lock->OnProcessDone(0);
+  }
+}
+
+}  // namespace
+}  // namespace rme

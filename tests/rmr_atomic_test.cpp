@@ -1,0 +1,175 @@
+// Unit tests for the RMR-accounting substrate: CC cache-mask semantics,
+// DSM home-node semantics, both counted simultaneously, crash hooks.
+#include <gtest/gtest.h>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+OpCounters CountersNow() { return CurrentProcess().counters; }
+
+TEST(RmrAtomic, CcReadMissThenHits) {
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{5};
+  const OpCounters before = CountersNow();
+  EXPECT_EQ(v.Load(), 5u);  // miss: installs cached copy
+  EXPECT_EQ(v.Load(), 5u);  // hit
+  EXPECT_EQ(v.Load(), 5u);  // hit
+  const OpCounters d = CountersNow() - before;
+  EXPECT_EQ(d.ops, 3u);
+  EXPECT_EQ(d.cc_rmrs, 1u);
+}
+
+TEST(RmrAtomic, CcWriteAlwaysRmrAndKeepsCopy) {
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{0};
+  const OpCounters before = CountersNow();
+  v.Store(1);               // RMR
+  EXPECT_EQ(v.Load(), 1u);  // hit: writer keeps a valid copy
+  const OpCounters d = CountersNow() - before;
+  EXPECT_EQ(d.cc_rmrs, 1u);
+}
+
+TEST(RmrAtomic, CcStrictModeDropsWriterCopy) {
+  memory_model_config().cc_strict = true;
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{0};
+  const OpCounters before = CountersNow();
+  v.Store(1);               // RMR
+  EXPECT_EQ(v.Load(), 1u);  // miss under strict invalidation
+  const OpCounters d = CountersNow() - before;
+  EXPECT_EQ(d.cc_rmrs, 2u);
+  memory_model_config().cc_strict = false;
+}
+
+TEST(RmrAtomic, WriterInvalidatesOtherReaders) {
+  rmr::Atomic<uint64_t> v{0};
+  {
+    ProcessBinding bind(0, nullptr);
+    (void)v.Load();  // p0 caches
+  }
+  {
+    ProcessBinding bind(1, nullptr);
+    v.Store(9);  // p1 invalidates p0's copy
+  }
+  {
+    ProcessBinding bind(0, nullptr);
+    const OpCounters before = CountersNow();
+    EXPECT_EQ(v.Load(), 9u);
+    EXPECT_EQ((CountersNow() - before).cc_rmrs, 1u);  // miss again
+  }
+}
+
+TEST(RmrAtomic, DsmHomeLocalIsFree) {
+  ProcessBinding bind(3, nullptr);
+  rmr::Atomic<uint64_t> local{0, 3};
+  rmr::Atomic<uint64_t> remote{0, 2};
+  rmr::Atomic<uint64_t> memory{0};  // kMemoryNode
+  const OpCounters before = CountersNow();
+  (void)local.Load();
+  local.Store(1);
+  (void)remote.Load();
+  remote.Store(1);
+  (void)memory.Load();
+  const OpCounters d = CountersNow() - before;
+  EXPECT_EQ(d.dsm_rmrs, 3u);  // remote x2 + memory x1
+  EXPECT_EQ(d.ops, 5u);
+}
+
+TEST(RmrAtomic, SpinOnOwnCachedValueIsOneRmrTotal) {
+  // The canonical MCS pattern: a process stores its flag, then spins; the
+  // remote writer's single store costs the spinner exactly one extra RMR.
+  rmr::Atomic<uint64_t> flag{0, /*home=*/0};
+  {
+    ProcessBinding bind(0, nullptr);
+    flag.Store(1);
+    const OpCounters before = CountersNow();
+    for (int i = 0; i < 100; ++i) (void)flag.Load();
+    EXPECT_EQ((CountersNow() - before).cc_rmrs, 0u);
+    EXPECT_EQ((CountersNow() - before).dsm_rmrs, 0u);
+  }
+  {
+    ProcessBinding bind(1, nullptr);
+    flag.Store(0);
+  }
+  {
+    ProcessBinding bind(0, nullptr);
+    const OpCounters before = CountersNow();
+    for (int i = 0; i < 100; ++i) (void)flag.Load();
+    EXPECT_EQ((CountersNow() - before).cc_rmrs, 1u);
+  }
+}
+
+TEST(RmrAtomic, ExchangeAndCasSemantics) {
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{7};
+  EXPECT_EQ(v.Exchange(8), 7u);
+  EXPECT_TRUE(v.CompareExchange(8, 9));
+  EXPECT_FALSE(v.CompareExchange(8, 10));
+  EXPECT_EQ(v.RawLoad(), 9u);
+  EXPECT_EQ(v.FetchAdd(1), 9u);
+  EXPECT_EQ(v.FetchOr(0xf0), 10u);
+  EXPECT_EQ(v.FetchAnd(0x0f), 0xfau);
+  EXPECT_EQ(v.RawLoad(), 0xau);
+}
+
+TEST(RmrAtomic, FailedCasStillCountsAsRmr) {
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{1};
+  const OpCounters before = CountersNow();
+  EXPECT_FALSE(v.CompareExchange(2, 3));
+  EXPECT_EQ((CountersNow() - before).cc_rmrs, 1u);
+}
+
+TEST(RmrAtomic, PointerSpecialization) {
+  ProcessBinding bind(0, nullptr);
+  int a = 0, b = 0;
+  rmr::Atomic<int*> p{&a};
+  EXPECT_EQ(p.Exchange(&b), &a);
+  EXPECT_TRUE(p.CompareExchange(&b, nullptr));
+  EXPECT_EQ(p.Load(), nullptr);
+}
+
+TEST(RmrAtomic, UnboundThreadCountsNothing) {
+  rmr::Atomic<uint64_t> v{0};
+  const OpCounters before = CountersNow();
+  v.Store(1);
+  (void)v.Load();
+  const OpCounters d = CountersNow() - before;
+  EXPECT_EQ(d.cc_rmrs, 0u);
+  EXPECT_EQ(d.dsm_rmrs, 0u);
+}
+
+TEST(RmrAtomic, LogicalClockAdvances) {
+  ProcessBinding bind(0, nullptr);
+  rmr::Atomic<uint64_t> v{0};
+  const uint64_t t0 = LogicalNow();
+  v.Store(1);
+  (void)v.Load();
+  EXPECT_GE(LogicalNow(), t0 + 2);
+}
+
+TEST(RmrAtomic, CrashHookFiresAtLabelledSite) {
+  SiteCrash crash(0, "test.fas", /*after_op=*/true);
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  // The op must take effect even though the crash fires "after" it.
+  EXPECT_THROW(v.Exchange(5, "test.fas"), ProcessCrash);
+  EXPECT_EQ(v.RawLoad(), 5u);
+  // One-shot: the next occurrence passes.
+  EXPECT_EQ(v.Exchange(6, "test.fas"), 5u);
+}
+
+TEST(RmrAtomic, BeforeCrashLeavesValueUntouched) {
+  SiteCrash crash(0, "test.store", /*after_op=*/false);
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{1};
+  EXPECT_THROW(v.Store(2, "test.store"), ProcessCrash);
+  EXPECT_EQ(v.RawLoad(), 1u);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,133 @@
+// Tests for SA-Lock (Algorithm 3): fast-path-only behaviour without
+// failures, slow-path diversion under unsafe filter failures, strong ME,
+// path persistence across crashes, and the fast path staying O(1).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/sa_lock.hpp"
+#include "crash/crash.hpp"
+#include "locks/tree_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+std::unique_ptr<SaLock> MakeSa(int n, std::string label = "sa") {
+  return std::make_unique<SaLock>(
+      n, std::make_unique<TournamentLock>(n, label + ".core"), label);
+}
+
+TEST(SaLock, SingleProcessPassages) {
+  auto sa = MakeSa(4);
+  ProcessBinding bind(0, nullptr);
+  for (int i = 0; i < 8; ++i) {
+    sa->Recover(0);
+    sa->Enter(0);
+    sa->Exit(0);
+  }
+  EXPECT_EQ(sa->fast_passages(), 8u);
+  EXPECT_EQ(sa->slow_passages(), 0u);
+}
+
+TEST(SaLock, FailureFreeEveryoneTakesFastPath) {
+  auto sa = MakeSa(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 250;
+  const RunResult r = RunWorkload(*sa, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(sa->slow_passages(), 0u) << "no failures => no slow path";
+  EXPECT_EQ(sa->fast_passages(), 8u * 250u);
+}
+
+TEST(SaLock, FailureFreeRmrIsConstant) {
+  auto sa = MakeSa(16);
+  WorkloadConfig cfg;
+  cfg.num_procs = 16;
+  cfg.passages_per_proc = 150;
+  const RunResult r = RunWorkload(*sa, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_LE(r.passage.cc.mean(), 70.0) << "filter+splitter+arbitrator O(1)";
+  EXPECT_LE(r.passage.dsm.mean(), 70.0);
+}
+
+TEST(SaLock, UnsafeFilterFailureDivertsToSlowPath) {
+  // Deterministic Lemma-5.8 scenario: p0 holds the target lock (and the
+  // splitter). p1 crashes after its filter FAS; on retry the filter
+  // Recover aborts the orphaned attempt (resetting the filter's tail),
+  // so p1 re-acquires the filter concurrently with p0 — a weak-ME
+  // overlap — then loses the splitter to p0 and must take the slow
+  // path: core lock, then the arbitrator's Right side.
+  auto sa = std::make_unique<SaLock>(
+      4, std::make_unique<TournamentLock>(4, "sad.core"), "sad");
+  SiteCrash crash(1, "sad.filter.tail.fas", /*after_op=*/true);
+
+  {
+    ProcessBinding bind(0, nullptr);
+    sa->Recover(0);
+    sa->Enter(0);  // fast path: holds filter + splitter + arbitrator(L)
+  }
+  {
+    ProcessBinding bind(1, &crash);
+    sa->Recover(1);
+    EXPECT_THROW(sa->Enter(1), ProcessCrash);
+  }
+  // p1 will block on the arbitrator until p0 releases, so free p0 from a
+  // helper thread mid-way.
+  std::thread release_p0([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ProcessBinding bind(0, nullptr);
+    sa->Exit(0);
+  });
+  {
+    ProcessBinding bind(1, nullptr);
+    sa->Recover(1);
+    sa->Enter(1);
+    sa->Exit(1);
+  }
+  release_p0.join();
+  EXPECT_GE(sa->slow_passages(), 1u);
+  EXPECT_EQ(sa->fast_passages(), 1u);
+}
+
+TEST(SaLock, CrashStormKeepsStrongME) {
+  auto sa = MakeSa(8, "sas");
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 150;
+  cfg.seed = 3;
+  RandomCrash crash(71, 0.0015, -1);
+  const RunResult r = RunWorkload(*sa, cfg, &crash);
+  EXPECT_FALSE(r.aborted) << "starvation freedom";
+  EXPECT_EQ(r.me_violations, 0u) << "SA-Lock is strongly recoverable";
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 150u);
+}
+
+TEST(SaLock, SensitiveSitesAreExactlyTheFilterFas) {
+  auto sa = std::make_unique<SaLock>(
+      4, std::make_unique<TournamentLock>(4, "saq.core"), "saq");
+  EXPECT_TRUE(sa->IsSensitiveSite("saq.filter.tail.fas", true));
+  EXPECT_FALSE(sa->IsSensitiveSite("saq.filter.tail.fas", false));
+  EXPECT_FALSE(sa->IsSensitiveSite("saq.split.op", true));
+  EXPECT_FALSE(sa->IsSensitiveSite("saq.arb.op", true));
+  EXPECT_TRUE(sa->IsStronglyRecoverable());
+}
+
+TEST(SaLock, StatsStringMentionsPaths) {
+  auto sa = MakeSa(2, "sat");
+  ProcessBinding bind(0, nullptr);
+  sa->Recover(0);
+  sa->Enter(0);
+  sa->Exit(0);
+  const std::string s = sa->StatsString();
+  EXPECT_NE(s.find("fast=1"), std::string::npos);
+  EXPECT_NE(s.find("slow=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rme

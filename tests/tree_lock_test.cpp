@@ -1,0 +1,130 @@
+// Tests for the arbitration-tree locks (TournamentLock, KPortTreeLock):
+// structure, n-process mutual exclusion, crash storms, RMR ~ depth.
+#include <gtest/gtest.h>
+
+#include "crash/crash.hpp"
+#include "locks/tree_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(TreeLock, DepthMatchesArity) {
+  EXPECT_EQ(TournamentLock(2).depth(), 1);
+  EXPECT_EQ(TournamentLock(8).depth(), 3);
+  EXPECT_EQ(TournamentLock(9).depth(), 4);
+  EXPECT_EQ(TournamentLock(64).depth(), 6);
+  EXPECT_EQ(KPortTreeLock::AutoArity(64), 6);
+  EXPECT_EQ(KPortTreeLock(64).depth(), 3);  // 6^3 = 216 >= 64
+  EXPECT_EQ(KPortTreeLock(16).depth(), 2);  // 4^2 = 16
+}
+
+TEST(TreeLock, SingleProcess) {
+  TournamentLock lock(8);
+  ProcessBinding bind(5, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    lock.Recover(5);
+    lock.Enter(5);
+    lock.Exit(5);
+  }
+}
+
+class TreeLockParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeLockParam, MutualExclusionUnderContention) {
+  const int n = std::get<0>(GetParam());
+  const int arity = std::get<1>(GetParam());
+  TreeLock lock(n, arity);
+  WorkloadConfig cfg;
+  cfg.num_procs = n;
+  cfg.passages_per_proc = 200;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.max_concurrent_cs, 1);
+  EXPECT_EQ(r.completed_passages, static_cast<uint64_t>(n) * 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeLockParam,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(5, 2),
+                                           std::make_tuple(8, 2),
+                                           std::make_tuple(16, 2),
+                                           std::make_tuple(8, 4),
+                                           std::make_tuple(16, 4),
+                                           std::make_tuple(13, 3),
+                                           std::make_tuple(32, 6)));
+
+TEST(TreeLock, CrashStormStaysExclusive) {
+  TournamentLock lock(8, "tstorm");
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 150;
+  RandomCrash crash(41, 0.002, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted) << "starvation freedom under crashes";
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 150u);
+}
+
+TEST(TreeLock, KPortCrashStormStaysExclusive) {
+  KPortTreeLock lock(16, "kstorm");
+  WorkloadConfig cfg;
+  cfg.num_procs = 16;
+  cfg.passages_per_proc = 100;
+  RandomCrash crash(43, 0.001, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.completed_passages, 16u * 100u);
+}
+
+TEST(TreeLock, RmrScalesWithDepthNotN) {
+  // Uncontended cost per passage ~ c * depth.
+  for (int n : {4, 16, 64}) {
+    TournamentLock lock(n);
+    ProcessBinding bind(0, nullptr);
+    ProcessContext& ctx = CurrentProcess();
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+    const OpCounters before = ctx.counters;
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+    const OpCounters d = ctx.counters - before;
+    EXPECT_LE(d.cc_rmrs, 20u * static_cast<uint64_t>(lock.depth()));
+  }
+}
+
+TEST(TreeLock, KPortTreeShallowerThanTournament) {
+  // The substitution's point: k-ary depth ~ log n / log log n beats
+  // binary depth ~ log n, and uncontended RMR follows depth.
+  const int n = 64;
+  TournamentLock binary(n);
+  KPortTreeLock kary(n);
+  EXPECT_LT(kary.depth(), binary.depth());
+
+  auto measure = [](RecoverableLock& lock) {
+    ProcessBinding bind(0, nullptr);
+    ProcessContext& ctx = CurrentProcess();
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+    const OpCounters before = ctx.counters;
+    for (int i = 0; i < 10; ++i) {
+      lock.Recover(0);
+      lock.Enter(0);
+      lock.Exit(0);
+    }
+    return (ctx.counters - before).cc_rmrs;
+  };
+  EXPECT_LT(measure(kary), measure(binary));
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,169 @@
+// Unit tests for the util module: PRNG determinism, statistics,
+// growth-curve classification, tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rme {
+namespace {
+
+TEST(Prng, DeterministicAcrossInstances) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Prng, StreamsAreIndependent) {
+  Prng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Prng, BoundedStaysInRange) {
+  Prng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+  }
+}
+
+TEST(Prng, BoundedIsRoughlyUniform) {
+  Prng r(11);
+  std::vector<int> counts(8, 0);
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[r.NextBounded(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.1);
+  }
+}
+
+TEST(Prng, BernoulliMatchesProbability) {
+  Prng r(3);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.Bernoulli(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Prng, BernoulliEdgeCases) {
+  Prng r(5);
+  EXPECT_FALSE(r.Bernoulli(0.0));
+  EXPECT_FALSE(r.Bernoulli(-1.0));
+  EXPECT_TRUE(r.Bernoulli(1.0));
+  EXPECT_TRUE(r.Bernoulli(2.0));
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MergeMatchesConcatenation) {
+  Summary a, b, all;
+  Prng r(9);
+  for (int i = 0; i < 100; ++i) {
+    const double v = r.NextDouble();
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Percentiles, ExactQuantilesOnSmallSets) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_NEAR(p.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.Quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(Histogram, CountsAndMerge) {
+  Histogram h1, h2;
+  h1.Add(0);
+  h1.Add(1);
+  h2.Add(1000);
+  h1.Merge(h2);
+  EXPECT_EQ(h1.count(), 3u);
+  EXPECT_GE(h1.MaxBucketEdge(), 1000u);
+}
+
+TEST(GrowthFit, ConstantCurveIsO1) {
+  std::vector<double> x{1, 2, 4, 8, 16, 32}, y{7, 7.2, 6.9, 7.1, 7, 7.05};
+  EXPECT_EQ(ClassifyGrowth(x, y), "O(1)");
+}
+
+TEST(GrowthFit, SqrtCurve) {
+  std::vector<double> x, y;
+  for (double v : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::sqrt(v));
+  }
+  EXPECT_EQ(ClassifyGrowth(x, y), "~sqrt");
+  EXPECT_NEAR(LogLogSlope(x, y), 0.5, 0.02);
+}
+
+TEST(GrowthFit, LinearCurve) {
+  std::vector<double> x{1, 2, 4, 8, 16}, y{2, 4, 8, 16, 32};
+  EXPECT_EQ(ClassifyGrowth(x, y), "~linear");
+}
+
+TEST(GrowthFit, IgnoresNonPositivePoints) {
+  std::vector<double> x{0, 1, 2, 4}, y{5, 7, 7, 7};
+  EXPECT_EQ(ClassifyGrowth(x, y), "O(1)");
+}
+
+TEST(Table, AlignedTextOutput) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "22"});
+  const std::string out = t.ToText();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b"});
+  t.AddRow({"only"});
+  EXPECT_EQ(t.ToCsv(), "a,b\nonly,\n");
+}
+
+TEST(Cli, ParsesTypes) {
+  const char* argv[] = {"prog", "--n=8", "--p=0.5", "--flag", "--name=x"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.GetInt("n", 0), 8);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("p", 0), 0.5);
+  EXPECT_TRUE(cli.GetBool("flag", false));
+  EXPECT_EQ(cli.GetString("name", ""), "x");
+  EXPECT_EQ(cli.GetInt("missing", 42), 42);
+  EXPECT_FALSE(cli.Has("missing"));
+}
+
+}  // namespace
+}  // namespace rme

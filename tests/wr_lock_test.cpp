@@ -1,0 +1,212 @@
+// Tests for WR-Lock (Algorithm 2): deterministic replays of the paper's
+// Figure-1 sub-queue scenario, weak-ME semantics, BCSR, bounded
+// recovery/exit, O(1) RMR, and crash-storm survival.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "crash/crash.hpp"
+#include "locks/wr_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(WrLock, SingleProcessPassages) {
+  WrLock lock(2);
+  ProcessBinding bind(0, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    lock.Recover(0);
+    lock.Enter(0);
+    EXPECT_EQ(lock.StateOf(0), WrLock::kInCS);
+    lock.Exit(0);
+    EXPECT_EQ(lock.StateOf(0), WrLock::kFree);
+  }
+}
+
+TEST(WrLock, SensitiveSiteIsTheFas) {
+  WrLock lock(2, "wrx");
+  EXPECT_TRUE(lock.IsSensitiveSite("wrx.tail.fas", true));
+  EXPECT_FALSE(lock.IsSensitiveSite("wrx.tail.fas", false));
+  EXPECT_TRUE(lock.IsSensitiveSite("wrx.pred.persist", false));
+  EXPECT_FALSE(lock.IsSensitiveSite("wrx.pred.persist", true));
+  EXPECT_FALSE(lock.IsSensitiveSite("wrx.op", true));
+  EXPECT_FALSE(lock.IsStronglyRecoverable());
+}
+
+// Figure 1, deterministically: a crash exactly after the FAS leaves the
+// queue split; after the crashed process aborts its attempt, a newcomer
+// sees a null tail and enters CS alongside the original holder.
+TEST(WrLock, CrashAfterFasSplitsQueue) {
+  WrLock lock(4, "wr");
+  SiteCrash crash(1, "wr.tail.fas", /*after_op=*/true);
+
+  // p0 acquires and stays in CS.
+  {
+    ProcessBinding bind(0, nullptr);
+    lock.Recover(0);
+    lock.Enter(0);
+    EXPECT_EQ(lock.StateOf(0), WrLock::kInCS);
+  }
+  // p1 crashes immediately after its FAS: node appended, pred lost.
+  {
+    ProcessBinding bind(1, &crash);
+    lock.Recover(1);
+    EXPECT_THROW(lock.Enter(1), ProcessCrash);
+    EXPECT_EQ(lock.StateOf(1), WrLock::kTrying);
+  }
+  // p1 restarts: Recover detects pred == mine and aborts the attempt,
+  // resetting tail to null (its node was the tail) — the queue carrying
+  // p0 is now unreachable.
+  {
+    ProcessBinding bind(1, nullptr);
+    lock.Recover(1);
+    EXPECT_EQ(lock.StateOf(1), WrLock::kInitializing);
+  }
+  // p2 arrives, finds tail null, and enters CS: two processes in CS.
+  {
+    ProcessBinding bind(2, nullptr);
+    lock.Recover(2);
+    lock.Enter(2);
+    EXPECT_EQ(lock.StateOf(2), WrLock::kInCS);
+  }
+  EXPECT_EQ(lock.StateOf(0), WrLock::kInCS);
+  EXPECT_GE(lock.CountSubQueues(), 2);
+
+  // Drain.
+  {
+    ProcessBinding bind(2, nullptr);
+    lock.Exit(2);
+  }
+  {
+    ProcessBinding bind(0, nullptr);
+    lock.Exit(0);
+  }
+}
+
+// Figure 1 with an already-linked successor: the aborting process's
+// wait-free signal releases the successor into the CS.
+TEST(WrLock, AbortSignalsLinkedSuccessor) {
+  WrLock lock(4, "wr");
+  SiteCrash crash(1, "wr.tail.fas", /*after_op=*/true);
+
+  {
+    ProcessBinding bind(0, nullptr);
+    lock.Recover(0);
+    lock.Enter(0);
+  }
+  {
+    ProcessBinding bind(1, &crash);
+    lock.Recover(1);
+    EXPECT_THROW(lock.Enter(1), ProcessCrash);
+  }
+  // p2 queues behind p1's orphaned node and spins.
+  std::thread t2([&] {
+    ProcessBinding bind(2, nullptr);
+    lock.Recover(2);
+    lock.Enter(2);
+    lock.Exit(2);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // p1 recovers; its abort must wake p2 (wait-free signalling).
+  {
+    ProcessBinding bind(1, nullptr);
+    lock.Recover(1);
+  }
+  t2.join();
+  {
+    ProcessBinding bind(0, nullptr);
+    lock.Exit(0);
+  }
+}
+
+TEST(WrLock, CrashInsideCsReentersBoundedly) {
+  WrLock lock(2, "wr");
+  ProcessBinding bind(0, nullptr);
+  ProcessContext& ctx = CurrentProcess();
+  lock.Recover(0);
+  lock.Enter(0);
+  // Simulate a crash inside the CS: state stays InCS; the process
+  // restarts and must get back into CS in O(1) steps (BCSR).
+  const OpCounters before = ctx.counters;
+  lock.Recover(0);
+  lock.Enter(0);
+  const OpCounters d = ctx.counters - before;
+  EXPECT_EQ(lock.StateOf(0), WrLock::kInCS);
+  EXPECT_LE(d.ops, 8u) << "BCSR re-entry must be a handful of steps";
+  lock.Exit(0);
+}
+
+TEST(WrLock, CrashDuringExitResumesViaRecover) {
+  WrLock lock(2, "wr");
+  SiteCrash crash(0, "wr.op", /*after_op=*/true, /*nth=*/1, /*count=*/1);
+  ProcessBinding bind(0, nullptr);
+  lock.Recover(0);
+  lock.Enter(0);
+  // Crash on the first Exit op (the state store to Leaving).
+  CurrentProcess().crash = &crash;
+  EXPECT_THROW(lock.Exit(0), ProcessCrash);
+  CurrentProcess().crash = nullptr;
+  EXPECT_EQ(lock.StateOf(0), WrLock::kLeaving);
+  lock.Recover(0);  // finishes the Exit, then re-initializes
+  EXPECT_EQ(lock.StateOf(0), WrLock::kInitializing);
+}
+
+TEST(WrLock, FailureFreeContentionIsClean) {
+  WrLock lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 300;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.max_concurrent_cs, 1) << "no failures => strict ME";
+  EXPECT_EQ(r.completed_passages, 8u * 300u);
+}
+
+TEST(WrLock, CrashStormMaintainsWeakGuarantees) {
+  WrLock lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 200;
+  cfg.seed = 5;
+  RandomCrash crash(17, 0.002, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted) << "starvation freedom under crash storm";
+  EXPECT_EQ(r.completed_passages, 8u * 200u);
+  // Weak ME: overlaps are admissible only inside consequence intervals;
+  // the checker flags any overlap outside one.
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_GT(r.failures, 0u);
+}
+
+TEST(WrLock, RmrPerPassageIsConstant) {
+  WrLock lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 300;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  // O(1) under both models: generous constants, independent of n.
+  EXPECT_LE(r.passage.cc.mean(), 45.0);
+  EXPECT_LE(r.passage.dsm.mean(), 45.0);
+  EXPECT_LE(r.max_recover_ops, 64u);  // BR: bounded recovery steps
+  EXPECT_LE(r.max_exit_ops, 64u);     // BE: bounded exit steps
+}
+
+TEST(WrLock, BoundedExitAndRecoveryUnderCrashes) {
+  WrLock lock(4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 150;
+  RandomCrash crash(23, 0.003, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_LE(r.max_recover_ops, 64u);
+  EXPECT_LE(r.max_exit_ops, 64u);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,84 @@
+// Tests for YaTournamentLock (the Golab–Ramaraju n-process O(log n)
+// lock built from recoverable Yang–Anderson / arbitrator nodes).
+#include <gtest/gtest.h>
+
+#include "crash/crash.hpp"
+#include "locks/ya_tournament_lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/harness.hpp"
+#include "sim/sim_harness.hpp"
+
+namespace rme {
+namespace {
+
+TEST(YaTournament, DepthIsCeilLog2) {
+  EXPECT_EQ(YaTournamentLock(2).depth(), 1);
+  EXPECT_EQ(YaTournamentLock(3).depth(), 2);
+  EXPECT_EQ(YaTournamentLock(8).depth(), 3);
+  EXPECT_EQ(YaTournamentLock(9).depth(), 4);
+  EXPECT_EQ(YaTournamentLock(64).depth(), 6);
+}
+
+TEST(YaTournament, MutualExclusionUnderContention) {
+  YaTournamentLock lock(8);
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 200;
+  const RunResult r = RunWorkload(lock, cfg, nullptr);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.max_concurrent_cs, 1);
+  EXPECT_EQ(r.completed_passages, 8u * 200u);
+}
+
+TEST(YaTournament, CrashStormStaysExclusiveAndLive) {
+  YaTournamentLock lock(8, "yas");
+  WorkloadConfig cfg;
+  cfg.num_procs = 8;
+  cfg.passages_per_proc = 120;
+  RandomCrash crash(47, 0.002, -1);
+  const RunResult r = RunWorkload(lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(r.completed_passages, 8u * 120u);
+}
+
+TEST(YaTournament, RmrScalesWithDepthBothModels) {
+  // O(log n) in both CC and DSM — the arbitrator waits locally, so the
+  // DSM count per passage is also ~depth, not ~spin-iterations.
+  for (int n : {4, 16, 64}) {
+    YaTournamentLock lock(n);
+    ProcessBinding bind(0, nullptr);
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+    ProcessContext& ctx = CurrentProcess();
+    const OpCounters before = ctx.counters;
+    lock.Recover(0);
+    lock.Enter(0);
+    lock.Exit(0);
+    const OpCounters d = ctx.counters - before;
+    EXPECT_LE(d.cc_rmrs, 16u * static_cast<uint64_t>(lock.depth())) << n;
+    EXPECT_LE(d.dsm_rmrs, 16u * static_cast<uint64_t>(lock.depth())) << n;
+  }
+}
+
+TEST(YaTournament, SimSeedSweepWithUnsafePressure) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    YaTournamentLock lock(5, "yaz");
+    SimWorkloadConfig cfg;
+    cfg.num_procs = 5;
+    cfg.passages_per_proc = 10;
+    cfg.seed = seed;
+    SpacedSiteCrash crash("arb.op", 15, 30);  // crashes inside the nodes
+    const SimResult r = RunSimWorkload(lock, cfg, &crash);
+    ASSERT_TRUE(r.ran_to_completion) << "seed " << seed;
+    EXPECT_EQ(r.me_violations, 0u) << "seed " << seed;
+    EXPECT_EQ(r.max_concurrent_cs, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rme
