@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_subqueues"
+  "../bench/bench_fig1_subqueues.pdb"
+  "CMakeFiles/bench_fig1_subqueues.dir/bench_fig1_subqueues.cpp.o"
+  "CMakeFiles/bench_fig1_subqueues.dir/bench_fig1_subqueues.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_subqueues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_salock_paths"
+  "../bench/bench_fig2_salock_paths.pdb"
+  "CMakeFiles/bench_fig2_salock_paths.dir/bench_fig2_salock_paths.cpp.o"
+  "CMakeFiles/bench_fig2_salock_paths.dir/bench_fig2_salock_paths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_salock_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_balock_adaptivity"
+  "../bench/bench_fig3_balock_adaptivity.pdb"
+  "CMakeFiles/bench_fig3_balock_adaptivity.dir/bench_fig3_balock_adaptivity.cpp.o"
+  "CMakeFiles/bench_fig3_balock_adaptivity.dir/bench_fig3_balock_adaptivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_balock_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

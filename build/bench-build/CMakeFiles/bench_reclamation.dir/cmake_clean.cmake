@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reclamation"
+  "../bench/bench_reclamation.pdb"
+  "CMakeFiles/bench_reclamation.dir/bench_reclamation.cpp.o"
+  "CMakeFiles/bench_reclamation.dir/bench_reclamation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reclamation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

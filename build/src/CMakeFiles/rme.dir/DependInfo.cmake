@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ba_lock.cpp" "src/CMakeFiles/rme.dir/core/ba_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/core/ba_lock.cpp.o.d"
+  "/root/repo/src/core/iter_ba_lock.cpp" "src/CMakeFiles/rme.dir/core/iter_ba_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/core/iter_ba_lock.cpp.o.d"
+  "/root/repo/src/core/lock_registry.cpp" "src/CMakeFiles/rme.dir/core/lock_registry.cpp.o" "gcc" "src/CMakeFiles/rme.dir/core/lock_registry.cpp.o.d"
+  "/root/repo/src/core/sa_lock.cpp" "src/CMakeFiles/rme.dir/core/sa_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/core/sa_lock.cpp.o.d"
+  "/root/repo/src/crash/crash.cpp" "src/CMakeFiles/rme.dir/crash/crash.cpp.o" "gcc" "src/CMakeFiles/rme.dir/crash/crash.cpp.o.d"
+  "/root/repo/src/crash/failure_log.cpp" "src/CMakeFiles/rme.dir/crash/failure_log.cpp.o" "gcc" "src/CMakeFiles/rme.dir/crash/failure_log.cpp.o.d"
+  "/root/repo/src/locks/arbitrator_lock.cpp" "src/CMakeFiles/rme.dir/locks/arbitrator_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/arbitrator_lock.cpp.o.d"
+  "/root/repo/src/locks/gr_adaptive_lock.cpp" "src/CMakeFiles/rme.dir/locks/gr_adaptive_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/gr_adaptive_lock.cpp.o.d"
+  "/root/repo/src/locks/gr_semi_lock.cpp" "src/CMakeFiles/rme.dir/locks/gr_semi_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/gr_semi_lock.cpp.o.d"
+  "/root/repo/src/locks/mcs_lock.cpp" "src/CMakeFiles/rme.dir/locks/mcs_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/mcs_lock.cpp.o.d"
+  "/root/repo/src/locks/port_lock.cpp" "src/CMakeFiles/rme.dir/locks/port_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/port_lock.cpp.o.d"
+  "/root/repo/src/locks/ticket_rlock.cpp" "src/CMakeFiles/rme.dir/locks/ticket_rlock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/ticket_rlock.cpp.o.d"
+  "/root/repo/src/locks/tree_lock.cpp" "src/CMakeFiles/rme.dir/locks/tree_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/tree_lock.cpp.o.d"
+  "/root/repo/src/locks/wr_lock.cpp" "src/CMakeFiles/rme.dir/locks/wr_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/wr_lock.cpp.o.d"
+  "/root/repo/src/locks/ya_tournament_lock.cpp" "src/CMakeFiles/rme.dir/locks/ya_tournament_lock.cpp.o" "gcc" "src/CMakeFiles/rme.dir/locks/ya_tournament_lock.cpp.o.d"
+  "/root/repo/src/reclaim/epoch_reclaimer.cpp" "src/CMakeFiles/rme.dir/reclaim/epoch_reclaimer.cpp.o" "gcc" "src/CMakeFiles/rme.dir/reclaim/epoch_reclaimer.cpp.o.d"
+  "/root/repo/src/reclaim/node_pool.cpp" "src/CMakeFiles/rme.dir/reclaim/node_pool.cpp.o" "gcc" "src/CMakeFiles/rme.dir/reclaim/node_pool.cpp.o.d"
+  "/root/repo/src/rmr/counters.cpp" "src/CMakeFiles/rme.dir/rmr/counters.cpp.o" "gcc" "src/CMakeFiles/rme.dir/rmr/counters.cpp.o.d"
+  "/root/repo/src/runtime/checkers.cpp" "src/CMakeFiles/rme.dir/runtime/checkers.cpp.o" "gcc" "src/CMakeFiles/rme.dir/runtime/checkers.cpp.o.d"
+  "/root/repo/src/runtime/experiment.cpp" "src/CMakeFiles/rme.dir/runtime/experiment.cpp.o" "gcc" "src/CMakeFiles/rme.dir/runtime/experiment.cpp.o.d"
+  "/root/repo/src/runtime/harness.cpp" "src/CMakeFiles/rme.dir/runtime/harness.cpp.o" "gcc" "src/CMakeFiles/rme.dir/runtime/harness.cpp.o.d"
+  "/root/repo/src/runtime/report.cpp" "src/CMakeFiles/rme.dir/runtime/report.cpp.o" "gcc" "src/CMakeFiles/rme.dir/runtime/report.cpp.o.d"
+  "/root/repo/src/sim/fiber_sim.cpp" "src/CMakeFiles/rme.dir/sim/fiber_sim.cpp.o" "gcc" "src/CMakeFiles/rme.dir/sim/fiber_sim.cpp.o.d"
+  "/root/repo/src/sim/sim_harness.cpp" "src/CMakeFiles/rme.dir/sim/sim_harness.cpp.o" "gcc" "src/CMakeFiles/rme.dir/sim/sim_harness.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/rme.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/rme.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/prng.cpp" "src/CMakeFiles/rme.dir/util/prng.cpp.o" "gcc" "src/CMakeFiles/rme.dir/util/prng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/rme.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/rme.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/rme.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/rme.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

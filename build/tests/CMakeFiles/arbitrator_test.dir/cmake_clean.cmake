@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrator_test.dir/arbitrator_test.cpp.o"
+  "CMakeFiles/arbitrator_test.dir/arbitrator_test.cpp.o.d"
+  "arbitrator_test"
+  "arbitrator_test.pdb"
+  "arbitrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

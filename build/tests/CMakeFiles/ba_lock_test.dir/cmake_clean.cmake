@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ba_lock_test.dir/ba_lock_test.cpp.o"
+  "CMakeFiles/ba_lock_test.dir/ba_lock_test.cpp.o.d"
+  "ba_lock_test"
+  "ba_lock_test.pdb"
+  "ba_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ba_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

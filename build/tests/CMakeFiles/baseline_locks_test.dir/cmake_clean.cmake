@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_locks_test.dir/baseline_locks_test.cpp.o"
+  "CMakeFiles/baseline_locks_test.dir/baseline_locks_test.cpp.o.d"
+  "baseline_locks_test"
+  "baseline_locks_test.pdb"
+  "baseline_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashpoint_test.dir/crashpoint_test.cpp.o"
+  "CMakeFiles/crashpoint_test.dir/crashpoint_test.cpp.o.d"
+  "crashpoint_test"
+  "crashpoint_test.pdb"
+  "crashpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_locality_test.dir/dsm_locality_test.cpp.o"
+  "CMakeFiles/dsm_locality_test.dir/dsm_locality_test.cpp.o.d"
+  "dsm_locality_test"
+  "dsm_locality_test.pdb"
+  "dsm_locality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_log_test.dir/failure_log_test.cpp.o"
+  "CMakeFiles/failure_log_test.dir/failure_log_test.cpp.o.d"
+  "failure_log_test"
+  "failure_log_test.pdb"
+  "failure_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

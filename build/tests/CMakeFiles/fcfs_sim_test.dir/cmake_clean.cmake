@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcfs_sim_test.dir/fcfs_sim_test.cpp.o"
+  "CMakeFiles/fcfs_sim_test.dir/fcfs_sim_test.cpp.o.d"
+  "fcfs_sim_test"
+  "fcfs_sim_test.pdb"
+  "fcfs_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcfs_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

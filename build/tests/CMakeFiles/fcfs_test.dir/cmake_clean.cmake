@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fcfs_test.dir/fcfs_test.cpp.o"
+  "CMakeFiles/fcfs_test.dir/fcfs_test.cpp.o.d"
+  "fcfs_test"
+  "fcfs_test.pdb"
+  "fcfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fcfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

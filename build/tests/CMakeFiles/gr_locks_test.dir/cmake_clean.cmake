@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gr_locks_test.dir/gr_locks_test.cpp.o"
+  "CMakeFiles/gr_locks_test.dir/gr_locks_test.cpp.o.d"
+  "gr_locks_test"
+  "gr_locks_test.pdb"
+  "gr_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gr_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iter_ba_test.dir/iter_ba_test.cpp.o"
+  "CMakeFiles/iter_ba_test.dir/iter_ba_test.cpp.o.d"
+  "iter_ba_test"
+  "iter_ba_test.pdb"
+  "iter_ba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iter_ba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

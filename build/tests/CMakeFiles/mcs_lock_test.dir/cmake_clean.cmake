@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_lock_test.dir/mcs_lock_test.cpp.o"
+  "CMakeFiles/mcs_lock_test.dir/mcs_lock_test.cpp.o.d"
+  "mcs_lock_test"
+  "mcs_lock_test.pdb"
+  "mcs_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

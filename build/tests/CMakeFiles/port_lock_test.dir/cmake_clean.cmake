@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_lock_test.dir/port_lock_test.cpp.o"
+  "CMakeFiles/port_lock_test.dir/port_lock_test.cpp.o.d"
+  "port_lock_test"
+  "port_lock_test.pdb"
+  "port_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

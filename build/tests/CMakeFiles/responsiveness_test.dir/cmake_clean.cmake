@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responsiveness_test.dir/responsiveness_test.cpp.o"
+  "CMakeFiles/responsiveness_test.dir/responsiveness_test.cpp.o.d"
+  "responsiveness_test"
+  "responsiveness_test.pdb"
+  "responsiveness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responsiveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmr_atomic_test.dir/rmr_atomic_test.cpp.o"
+  "CMakeFiles/rmr_atomic_test.dir/rmr_atomic_test.cpp.o.d"
+  "rmr_atomic_test"
+  "rmr_atomic_test.pdb"
+  "rmr_atomic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmr_atomic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmr_bounds_test.dir/rmr_bounds_test.cpp.o"
+  "CMakeFiles/rmr_bounds_test.dir/rmr_bounds_test.cpp.o.d"
+  "rmr_bounds_test"
+  "rmr_bounds_test.pdb"
+  "rmr_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmr_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_lock_test.dir/sa_lock_test.cpp.o"
+  "CMakeFiles/sa_lock_test.dir/sa_lock_test.cpp.o.d"
+  "sa_lock_test"
+  "sa_lock_test.pdb"
+  "sa_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

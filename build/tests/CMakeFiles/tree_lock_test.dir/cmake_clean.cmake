@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_lock_test.dir/tree_lock_test.cpp.o"
+  "CMakeFiles/tree_lock_test.dir/tree_lock_test.cpp.o.d"
+  "tree_lock_test"
+  "tree_lock_test.pdb"
+  "tree_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

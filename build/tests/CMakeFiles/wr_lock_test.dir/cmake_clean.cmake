@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wr_lock_test.dir/wr_lock_test.cpp.o"
+  "CMakeFiles/wr_lock_test.dir/wr_lock_test.cpp.o.d"
+  "wr_lock_test"
+  "wr_lock_test.pdb"
+  "wr_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wr_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ya_tournament_test.dir/ya_tournament_test.cpp.o"
+  "CMakeFiles/ya_tournament_test.dir/ya_tournament_test.cpp.o.d"
+  "ya_tournament_test"
+  "ya_tournament_test.pdb"
+  "ya_tournament_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ya_tournament_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
