@@ -1,0 +1,124 @@
+// Per-op cost of the RMR instrumentation itself, at 1/4/8/16 threads:
+// rmr::Atomic (counted, crash-probed, clock-stamped) against the bare
+// std::atomic it compiles to under RME_NATIVE_ATOMICS. Every thread
+// works on its OWN cache-line-aligned variable, so nothing is shared
+// except what the instrumentation shares — which is precisely what this
+// bench exists to measure. Before the clock was sharded, the per-op
+// global fetch_add made these curves collapse with thread count; after,
+// instrumented cost should stay near-flat while the `block1` series
+// (seed-equivalent clock granularity) keeps showing the old behaviour.
+//
+// Emit machine-readable results with:
+//   bench_instr_overhead --benchmark_out=BENCH_instr_overhead.json \
+//                        --benchmark_out_format=json
+// (see EXPERIMENTS.md for how the overhead ratio is derived per thread
+// count: ratio = instr time / native time for the same op).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+/// One variable per thread, each alone on its line.
+struct alignas(kCacheLineBytes) PaddedNative {
+  std::atomic<uint64_t> v{0};
+};
+PaddedNative g_native[kMaxProcs];
+rmr::Atomic<uint64_t> g_instr[kMaxProcs];
+
+void BM_NativeFetchAdd(benchmark::State& state) {
+  std::atomic<uint64_t>& v = g_native[state.thread_index()].v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.fetch_add(1, std::memory_order_seq_cst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NativeLoad(benchmark::State& state) {
+  std::atomic<uint64_t>& v = g_native[state.thread_index()].v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.load(std::memory_order_seq_cst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void InstrFetchAddBody(benchmark::State& state) {
+  ProcessBinding bind(state.thread_index(), nullptr);
+  rmr::Atomic<uint64_t>& v = g_instr[state.thread_index()];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.FetchAdd(1, "bench.faa"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_InstrFetchAdd(benchmark::State& state) { InstrFetchAddBody(state); }
+
+/// Seed-equivalent clock granularity: every op pays the global fetch_add.
+void BM_InstrFetchAddBlock1(benchmark::State& state) {
+  InstrFetchAddBody(state);
+}
+
+void BM_InstrLoadHit(benchmark::State& state) {
+  ProcessBinding bind(state.thread_index(), nullptr);
+  rmr::Atomic<uint64_t>& v = g_instr[state.thread_index()];
+  v.Store(1, "bench.warm");  // install our cached copy: steady-state hit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Load("bench.load"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void SetClockBlock(uint64_t b) { memory_model_config().clock_block = b; }
+
+}  // namespace
+}  // namespace rme
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char default_min_time[] = "--benchmark_min_time=0.1s";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  if (!has_min_time) args.push_back(default_min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+
+  struct Entry {
+    const char* name;
+    void (*fn)(benchmark::State&);
+    uint64_t clock_block;  // 0 = leave the default
+  };
+  const Entry entries[] = {
+      {"native_fetch_add", rme::BM_NativeFetchAdd, 0},
+      {"native_load", rme::BM_NativeLoad, 0},
+      {"instr_fetch_add", rme::BM_InstrFetchAdd, 0},
+      {"instr_fetch_add_block1", rme::BM_InstrFetchAddBlock1, 1},
+      {"instr_load_hit", rme::BM_InstrLoadHit, 0},
+  };
+  for (const Entry& e : entries) {
+    for (int threads : {1, 4, 8, 16}) {
+      auto* bench = benchmark::RegisterBenchmark(e.name, e.fn);
+      if (e.clock_block != 0) {
+        // Setup/Teardown take plain function pointers here, so the
+        // block-1 ablation is hardcoded rather than parameterized.
+        bench->Setup([](const benchmark::State&) { rme::SetClockBlock(1); });
+        bench->Teardown([](const benchmark::State&) {
+          rme::SetClockBlock(rme::MemoryModelConfig{}.clock_block);
+        });
+      }
+      bench->Threads(threads)->UseRealTime();
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,12 +6,24 @@ namespace rme {
 
 namespace {
 thread_local ProcessContext tls_context;
-std::atomic<uint64_t> g_logical_clock{0};
-std::atomic<ProcessContext*> g_bound[kMaxProcs];
+
+/// Global logical-clock reservation frontier: every tick in [0,
+/// g_clock_next) has been handed to some thread's block; ticks issued so
+/// far are exactly the non-gap portion of those blocks. Alone on its
+/// cache line — it is the only globally contended word left on the
+/// instrumentation hot path, touched once per clock_block ops per thread.
+alignas(kCacheLineBytes) std::atomic<uint64_t> g_clock_next{0};
+
+/// Bound-context registry, one slot per cache line: neighbouring pids'
+/// bind/unbind and the watchdog's polling must not invalidate each other.
+struct alignas(kCacheLineBytes) BoundSlot {
+  std::atomic<ProcessContext*> ptr{nullptr};
+};
+BoundSlot g_bound[kMaxProcs];
 }  // namespace
 
 ProcessContext* BoundContext(int pid) {
-  return g_bound[pid].load(std::memory_order_acquire);
+  return g_bound[pid].ptr.load(std::memory_order_acquire);
 }
 
 MemoryModelConfig& memory_model_config() {
@@ -19,10 +31,20 @@ MemoryModelConfig& memory_model_config() {
   return config;
 }
 
-uint64_t LogicalNow() { return g_logical_clock.load(std::memory_order_relaxed); }
+uint64_t LogicalNow() { return g_clock_next.load(std::memory_order_relaxed); }
 
 uint64_t AdvanceLogicalClock() {
-  return g_logical_clock.fetch_add(1, std::memory_order_relaxed) + 1;
+  ProcessContext& ctx = tls_context;
+  if (ctx.clock_next == ctx.clock_end) {
+    // Block exhausted (or never reserved): grab the next clock_block
+    // ticks. With clock_block == 1 this is the seed's per-op fetch_add,
+    // tick for tick.
+    uint64_t block = memory_model_config().clock_block;
+    if (block == 0) block = 1;
+    ctx.clock_next = g_clock_next.fetch_add(block, std::memory_order_relaxed);
+    ctx.clock_end = ctx.clock_next + block;
+  }
+  return ++ctx.clock_next;
 }
 
 ProcessContext& CurrentProcess() { return tls_context; }
@@ -35,11 +57,11 @@ ProcessBinding::ProcessBinding(int pid, CrashController* crash) {
   tls_context.crash = crash;
   tls_context.counters = OpCounters{};
   tls_context.in_cs = false;
-  g_bound[pid].store(&tls_context, std::memory_order_release);
+  g_bound[pid].ptr.store(&tls_context, std::memory_order_release);
 }
 
 ProcessBinding::~ProcessBinding() {
-  g_bound[tls_context.pid].store(nullptr, std::memory_order_release);
+  g_bound[tls_context.pid].ptr.store(nullptr, std::memory_order_release);
   tls_context = ProcessContext{};
 }
 
@@ -69,12 +91,22 @@ void SpinPause(uint64_t iteration) {
     tls_yield_hook(tls_yield_arg);
     return;
   }
-  // Yield increasingly often the longer we spin; with more simulated
-  // processes than cores, the writer we are waiting on needs CPU time.
-  if ((iteration & 0x3f) == 0x3f) {
-    if (g_abort.load(std::memory_order_relaxed)) throw RunAborted{};
-    std::this_thread::yield();
+  // Stage 1 — very short waits: exponentially growing pause bursts (1,
+  // 2, 4 `pause`s). When the writer is mid-CS on another core this wins
+  // the handover without a syscall; it is short enough not to starve a
+  // descheduled writer when cores are oversubscribed (burning long pause
+  // bursts before the first yield measurably collapses throughput there).
+  constexpr uint64_t kSpinIters = 3;
+  if (iteration < kSpinIters) {
+    uint64_t spins = uint64_t{1} << iteration;
+    while (spins-- > 0) CpuRelax();
+    return;
   }
+  // Stage 2 — the writer is likely descheduled (more simulated processes
+  // than cores is the common case here), so give it CPU time every
+  // iteration, and check for a watchdog abort.
+  if (g_abort.load(std::memory_order_relaxed)) throw RunAborted{};
+  std::this_thread::yield();
 }
 
 namespace rmr_detail {

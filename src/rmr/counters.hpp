@@ -14,17 +14,31 @@ namespace rme {
 
 class CrashController;  // crash/crash.hpp
 
-struct ProcessContext {
+/// Layout: the first cache line holds exactly the fields the
+/// instrumentation touches on every shared-memory operation (hot); the
+/// diagnostic fields the stall watchdog polls from its own thread live on
+/// a separate line (cold), so watchdog reads never steal the owner's hot
+/// line. The struct stays trivially copyable: the fiber simulator swaps
+/// whole images in and out of the thread-local slot.
+struct alignas(kCacheLineBytes) ProcessContext {
+  // --- hot: written by the owner on every instrumented op ---
   int pid = kMemoryNode;          ///< process id in [0, n); kMemoryNode = unbound
-  OpCounters counters;            ///< cumulative counts for this thread
   CrashController* crash = nullptr;  ///< may be null (no injection)
+  /// Sharded logical clock: next unissued tick / exclusive end of the
+  /// block this context reserved from the global counter. next == end
+  /// means "no block"; the next tick reserves a fresh block.
+  uint64_t clock_next = 0;
+  uint64_t clock_end = 0;
+  OpCounters counters;            ///< cumulative counts for this thread
   /// True while the process executes its critical section; consulted by
   /// crash bookkeeping (a crash in CS leaves a reentry obligation).
   bool in_cs = false;
+
+  // --- cold: polled cross-thread by the stall watchdog ---
   /// Site label of the most recent shared-memory operation. Diagnostic:
   /// the harness watchdog prints it on a stall, which pinpoints the spin
   /// loop a stuck process is in.
-  const char* last_site = "";
+  alignas(kCacheLineBytes) const char* last_site = "";
 };
 
 /// Registry of currently bound contexts (diagnostics; read by the stall
@@ -56,10 +70,26 @@ void RequestGlobalAbort();
 void ResetGlobalAbort();
 bool GlobalAbortRequested();
 
-/// Cooperative back-off used inside spin loops: yields to the OS
-/// scheduler periodically so oversubscribed runs make progress. Throws
-/// RunAborted if a global abort has been requested. Under the
-/// deterministic simulator, yields to the fiber scheduler instead.
+/// One hardware spin-wait hint (x86 `pause`, aarch64 `yield`): tells the
+/// core a spin loop is in progress, freeing pipeline resources for the
+/// sibling hyperthread and cutting the memory-order-violation flush when
+/// the awaited line finally arrives. No-op where unsupported.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Cooperative back-off used inside spin loops, in escalating stages by
+/// iteration count: a short pure-spin window with exponentially growing
+/// `CpuRelax` bursts (cheap when the wait is tens of cycles), then OS
+/// yields so oversubscribed runs make progress. Throws RunAborted if a
+/// global abort has been requested. Under the deterministic simulator,
+/// yields to the fiber scheduler instead.
 void SpinPause(uint64_t iteration);
 
 /// Fiber-scheduler integration (sim/fiber_sim): when a hook is installed

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/assert.hpp"
@@ -32,6 +33,13 @@ namespace rme {
 
 /// Maximum number of simulated processes (bitmask-bound).
 inline constexpr int kMaxProcs = 64;
+
+/// Alignment used to keep independently-written shared state on separate
+/// cache lines (rmr::Atomic, the bound-context registry, ProcessContext).
+/// A fixed 64 rather than std::hardware_destructive_interference_size:
+/// the latter is not ABI-stable across TUs/compilers and 64 is correct on
+/// every target we run on (x86-64, aarch64).
+inline constexpr std::size_t kCacheLineBytes = 64;
 
 /// Home node denoting "main memory": remote to every process under DSM.
 inline constexpr int kMemoryNode = -1;
@@ -58,12 +66,27 @@ struct MemoryModelConfig {
   /// If true, a writer does NOT retain a valid cached copy after writing
   /// (strict-invalidation ablation; see DESIGN.md §5).
   bool cc_strict = false;
+  /// Logical-clock shard granularity: each thread reserves a block of
+  /// this many ticks from the global counter and hands them out locally.
+  /// Timestamps stay globally unique and per-thread monotone; cross-thread
+  /// order is exact only at block granularity, which is all failure
+  /// records and consequence-interval conditioning need (DESIGN.md).
+  /// 1 restores the seed's exact per-op global ordering (and its per-op
+  /// contended fetch_add). Values < 1 are treated as 1.
+  uint64_t clock_block = 1024;
 };
 
 MemoryModelConfig& memory_model_config();
 
 /// Monotonic logical clock, advanced on every shared-memory operation.
 /// Failure timestamps and consequence intervals are expressed in it.
+///
+/// Sharded: threads draw timestamps from privately reserved blocks (see
+/// MemoryModelConfig::clock_block). LogicalNow() reads the global
+/// reservation frontier — an upper bound on every tick issued so far and
+/// a lower bound on every tick issued later, i.e. exact to within one
+/// block per thread. AdvanceLogicalClock() returns the caller's next
+/// tick: globally unique, strictly increasing per thread.
 uint64_t LogicalNow();
 uint64_t AdvanceLogicalClock();
 
@@ -88,8 +111,14 @@ namespace rmr {
 /// Contents survive simulated crashes (the object is never destroyed by a
 /// crash); per-process private state must live in function locals, which
 /// the crash exception unwinds away — exactly the paper's failure model.
+/// Cache-line aligned: lock structures hold arrays of these (qnodes,
+/// per-process flag vectors), and without the alignment one process's
+/// CC-mask bookkeeping lands on the same line as its neighbour's spin
+/// variable — the coherence traffic the RMR model says should not exist
+/// then shows up as real (unmodelled) slowdown. One variable per line
+/// makes the hardware behaviour match the accounting.
 template <typename T>
-class Atomic {
+class alignas(kCacheLineBytes) Atomic {
  public:
   explicit Atomic(T init = T{}, int home = kMemoryNode)
       : value_(init), cc_mask_(0), home_(home) {}

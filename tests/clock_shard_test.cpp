@@ -1,0 +1,146 @@
+// Tests for the block-sharded logical clock: global uniqueness and
+// per-thread monotonicity of issued ticks at the default granularity,
+// LogicalNow() frontier semantics, and exact seed-equivalent behaviour
+// (per-op global ordering, consecutive failure timestamps) at
+// clock_block = 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+/// RAII: set clock_block for one test, restore the previous value after.
+class ScopedClockBlock {
+ public:
+  explicit ScopedClockBlock(uint64_t b)
+      : prev_(memory_model_config().clock_block) {
+    memory_model_config().clock_block = b;
+  }
+  ~ScopedClockBlock() { memory_model_config().clock_block = prev_; }
+
+ private:
+  uint64_t prev_;
+};
+
+TEST(ClockShard, TicksUniqueAcrossThreadsAndMonotonePerThread) {
+  ScopedClockBlock block(1024);
+  constexpr int kThreads = 8;
+  constexpr int kTicks = 20000;
+  std::vector<std::vector<uint64_t>> per_thread(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      auto& mine = per_thread[static_cast<size_t>(t)];
+      mine.reserve(kTicks);
+      for (int i = 0; i < kTicks; ++i) mine.push_back(AdvanceLogicalClock());
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  std::vector<uint64_t> all;
+  all.reserve(static_cast<size_t>(kThreads) * kTicks);
+  for (const auto& mine : per_thread) {
+    for (size_t i = 1; i < mine.size(); ++i) {
+      ASSERT_LT(mine[i - 1], mine[i]) << "per-thread monotonicity";
+    }
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "a tick was issued twice";
+}
+
+TEST(ClockShard, InstrumentedOpsDrawUniqueTimestamps) {
+  ScopedClockBlock block(64);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 5000;
+  // Each thread hammers its own variable; only the clock is shared.
+  std::vector<std::vector<uint64_t>> stamps(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      ProcessBinding bind(t, nullptr);
+      rmr::Atomic<uint64_t> v{0};
+      auto& mine = stamps[static_cast<size_t>(t)];
+      mine.reserve(kOps);
+      for (int i = 0; i < kOps; ++i) {
+        v.FetchAdd(1, "clock.test");
+        mine.push_back(CurrentProcess().clock_next);  // last issued tick
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  std::vector<uint64_t> all;
+  for (const auto& mine : stamps) {
+    for (size_t i = 1; i < mine.size(); ++i) {
+      ASSERT_LT(mine[i - 1], mine[i]);
+    }
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(ClockShard, LogicalNowBoundsEveryIssuedTick) {
+  ScopedClockBlock block(1024);
+  const uint64_t t0 = LogicalNow();
+  const uint64_t tick = AdvanceLogicalClock();
+  EXPECT_GT(tick, t0);  // new ticks come from blocks reserved at/after t0
+  EXPECT_LE(tick, LogicalNow());
+}
+
+TEST(ClockShard, BlockOneIsSeedExactPerOpOrdering) {
+  ScopedClockBlock block(1);
+  ProcessBinding bind(0, nullptr);
+  // Drain any leftover block so we start at the global frontier.
+  CurrentProcess().clock_next = CurrentProcess().clock_end;
+  const uint64_t t0 = LogicalNow();
+  // Seed semantics: every op advances the global clock by exactly one and
+  // returns its value; LogicalNow() tracks it tick for tick.
+  for (uint64_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(AdvanceLogicalClock(), t0 + i);
+    EXPECT_EQ(LogicalNow(), t0 + i);
+  }
+  rmr::Atomic<uint64_t> v{0};
+  v.Store(1, "clock.test");  // one instrumented op == one tick
+  EXPECT_EQ(LogicalNow(), t0 + 6);
+}
+
+TEST(ClockShard, BlockOneFailureTimestampsMatchSeed) {
+  ScopedClockBlock block(1);
+  // Seed behaviour: a crash thrown from op k (after-op probe) carries
+  // time == global clock == number of ops issued so far.
+  SiteCrash crash(0, "clock.boom", /*after_op=*/true);
+  ProcessBinding bind(0, &crash);
+  CurrentProcess().clock_next = CurrentProcess().clock_end;
+  const uint64_t t0 = LogicalNow();
+  rmr::Atomic<uint64_t> v{0};
+  for (int i = 0; i < 4; ++i) v.Store(1, "clock.ok");
+  uint64_t crash_time = 0;
+  try {
+    v.Store(2, "clock.boom");
+  } catch (const ProcessCrash& cr) {
+    crash_time = cr.time;
+  }
+  EXPECT_EQ(crash_time, t0 + 5);
+}
+
+TEST(ClockShard, ZeroBlockIsClampedToOne) {
+  ScopedClockBlock block(0);
+  ProcessBinding bind(0, nullptr);
+  CurrentProcess().clock_next = CurrentProcess().clock_end;
+  const uint64_t t0 = LogicalNow();
+  EXPECT_EQ(AdvanceLogicalClock(), t0 + 1);
+  EXPECT_EQ(LogicalNow(), t0 + 1);
+}
+
+}  // namespace
+}  // namespace rme

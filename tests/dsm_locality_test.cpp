@@ -90,16 +90,30 @@ TEST(DsmLocality, ArbitratorAndPortLockWaitLocally) {
 TEST(DsmLocality, GrLocksAreKnownRemoteSpinners) {
   // Negative control, documenting the CC-only caveat: the gr baselines'
   // owner-gate spins are remote under DSM, and the counter shows it.
-  auto lock = MakeLock("gr-adaptive", 8);
-  WorkloadConfig cfg;
-  cfg.num_procs = 8;
-  cfg.passages_per_proc = 100;
-  cfg.cs_shared_ops = 8;
-  cfg.cs_yields = 2;
-  const RunResult r = RunWorkload(*lock, cfg, nullptr);
-  ASSERT_FALSE(r.aborted);
-  EXPECT_GT(r.passage.dsm.mean(), r.passage.cc.mean())
-      << "remote waiting should dominate the DSM count";
+  // The signature (robust to how often SpinPause yields): per-passage
+  // DSM grows with how long waiters wait, while CC stays flat — a
+  // local-spin lock bounds both.
+  auto run = [](int cs_ops, int cs_yields) {
+    auto lock = MakeLock("gr-adaptive", 8);
+    WorkloadConfig cfg;
+    cfg.num_procs = 8;
+    cfg.passages_per_proc = 100;
+    cfg.cs_shared_ops = cs_ops;
+    cfg.cs_yields = cs_yields;
+    const RunResult r = RunWorkload(*lock, cfg, nullptr);
+    EXPECT_FALSE(r.aborted);
+    return r;
+  };
+  const RunResult short_cs = run(8, 2);
+  const RunResult long_cs = run(32, 8);
+  // CC cost per passage is a lock-structure constant, independent of CS
+  // length (spin re-loads hit the spinner's own cached copy).
+  EXPECT_NEAR(long_cs.passage.cc.mean(), short_cs.passage.cc.mean(), 4.0);
+  // DSM cost scales with the wait: every spin re-load is remote.
+  EXPECT_GT(long_cs.passage.dsm.mean(), short_cs.passage.dsm.mean() * 1.5)
+      << "remote spinning should scale with CS length";
+  EXPECT_GT(long_cs.passage.dsm.mean(), long_cs.passage.cc.mean())
+      << "remote waiting should dominate the DSM count on long waits";
 }
 
 TEST(DsmLocality, CcAndDsmAreIndependentDimensions) {

@@ -3,7 +3,9 @@
 // descents, and the recovery-cost saving the cursor buys.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "core/iter_ba_lock.hpp"
 #include "core/lock_registry.hpp"

@@ -1,0 +1,84 @@
+// RMR-invariance regression: the padding / clock-sharding / backoff work
+// in the instrumentation layer must not move a single simulated RMR.
+// These constants were captured from the seed build (PR 1, commit
+// de98463 lineage) on deterministic single-threaded passages; any drift
+// means the memory-model accounting changed semantically, not just got
+// faster, and needs a DESIGN.md entry.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/lock_registry.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+struct Expected {
+  const char* lock;
+  // pass 0 is the cold pass (empty CC caches); passes 1..2 are identical
+  // warm passes — steady state reached after one passage for every lock.
+  uint64_t ops[3], cc[3], dsm[3];
+};
+
+// Captured from the seed build; see file comment.
+constexpr Expected kSeed[] = {
+    {"mcs", {4, 4, 4}, {4, 4, 4}, {2, 2, 2}},
+    {"wr", {45, 45, 45}, {26, 19, 19}, {2, 3, 3}},
+    {"sa", {69, 69, 69}, {43, 31, 31}, {22, 23, 23}},
+    {"ba", {69, 69, 69}, {43, 31, 31}, {22, 23, 23}},
+    {"ba-iter", {72, 72, 72}, {46, 33, 33}, {23, 24, 24}},
+    {"tournament", {52, 52, 52}, {36, 28, 28}, {52, 52, 52}},
+    {"cw-ticket", {26, 26, 26}, {18, 15, 15}, {26, 26, 26}},
+};
+
+TEST(RmrInvariance, SingleThreadedPassagesMatchSeedBitForBit) {
+  for (const Expected& e : kSeed) {
+    SCOPED_TRACE(e.lock);
+    auto lock = MakeLock(e.lock, 4);
+    ProcessBinding bind(0, nullptr);
+    ProcessContext& ctx = CurrentProcess();
+    for (int pass = 0; pass < 3; ++pass) {
+      SCOPED_TRACE(pass);
+      const OpCounters s0 = ctx.counters;
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+      const OpCounters d = ctx.counters - s0;
+      EXPECT_EQ(d.ops, e.ops[pass]);
+      EXPECT_EQ(d.cc_rmrs, e.cc[pass]);
+      EXPECT_EQ(d.dsm_rmrs, e.dsm[pass]);
+    }
+    lock->OnProcessDone(0);
+  }
+}
+
+TEST(RmrInvariance, CountsIndependentOfClockBlock) {
+  // RMR accounting must be identical whichever clock granularity is set:
+  // the clock orders events, it never participates in CC/DSM counting.
+  auto& config = memory_model_config();
+  const uint64_t prev = config.clock_block;
+  OpCounters per_block[2];
+  const uint64_t blocks[2] = {1, 4096};
+  for (int i = 0; i < 2; ++i) {
+    config.clock_block = blocks[i];
+    auto lock = MakeLock("wr", 4);
+    ProcessBinding bind(0, nullptr);
+    ProcessContext& ctx = CurrentProcess();
+    const OpCounters s0 = ctx.counters;
+    for (int pass = 0; pass < 3; ++pass) {
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+    }
+    per_block[i] = ctx.counters - s0;
+    lock->OnProcessDone(0);
+  }
+  config.clock_block = prev;
+  EXPECT_EQ(per_block[0].ops, per_block[1].ops);
+  EXPECT_EQ(per_block[0].cc_rmrs, per_block[1].cc_rmrs);
+  EXPECT_EQ(per_block[0].dsm_rmrs, per_block[1].dsm_rmrs);
+}
+
+}  // namespace
+}  // namespace rme

@@ -3,7 +3,9 @@
 // path persistence across crashes, and the fast path staying O(1).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "core/sa_lock.hpp"
 #include "crash/crash.hpp"

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_instr_overhead.json snapshot:
+# runs bench_instr_overhead and bench_throughput from an existing build
+# tree and merges their results plus derived overhead ratios into one
+# document. Usage: tools/make_bench_json.sh [build-dir] (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD_DIR"/bench/bench_instr_overhead \
+  --benchmark_out="$TMP/overhead.json" --benchmark_out_format=json \
+  --benchmark_min_time=0.2s >/dev/null
+"$BUILD_DIR"/bench/bench_throughput \
+  --benchmark_out="$TMP/throughput.json" --benchmark_out_format=json \
+  >/dev/null 2>&1
+
+python3 - "$TMP/overhead.json" "$TMP/throughput.json" <<'EOF'
+import json, sys
+
+overhead = json.load(open(sys.argv[1]))
+throughput = json.load(open(sys.argv[2]))
+
+def rows(doc):
+    return [b for b in doc["benchmarks"] if b.get("run_type") != "aggregate"]
+
+def time_of(doc, family, threads):
+    for b in rows(doc):
+        if b["name"].startswith(f"{family}/") and f"/threads:{threads}" in b["name"]:
+            return b["real_time"]
+    return None
+
+ratios = {}
+for t in (1, 4, 8, 16):
+    native = time_of(overhead, "native_fetch_add", t)
+    instr = time_of(overhead, "instr_fetch_add", t)
+    block1 = time_of(overhead, "instr_fetch_add_block1", t)
+    if native:
+        ratios[str(t)] = {
+            "native_ns": round(native, 2),
+            "instr_ns": round(instr, 2),
+            "instr_block1_ns": round(block1, 2),
+            "instr_over_native": round(instr / native, 2),
+            "block1_over_native": round(block1 / native, 2),
+        }
+
+agg = {}
+for b in rows(throughput):
+    for t in (1, 4, 8):
+        if f"/threads:{t}" in b["name"]:
+            agg[str(t)] = agg.get(str(t), 0.0) + b.get("items_per_second", 0.0)
+agg = {k: round(v) for k, v in agg.items()}
+
+out = {
+    "context": overhead.get("context", {}),
+    "overhead_ratio_by_threads": ratios,
+    "throughput_aggregate_items_per_second_by_threads": agg,
+    "benchmarks": overhead["benchmarks"],
+}
+json.dump(out, open("BENCH_instr_overhead.json", "w"), indent=1)
+print("wrote BENCH_instr_overhead.json")
+print("overhead ratios:", json.dumps(ratios, indent=1))
+print("throughput aggregates:", agg)
+EOF
