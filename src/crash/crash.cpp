@@ -1,5 +1,6 @@
 #include "crash/crash.hpp"
 
+#include <csignal>
 #include <cstring>
 
 namespace rme {
@@ -9,13 +10,20 @@ namespace rmr_detail {
 void MaybeCrash(const char* site, bool after_op) {
   ProcessContext& ctx = CurrentProcess();
   if (!after_op) {
-    ctx.last_site = site;  // stall diagnostics
+    // Stall diagnostics; relaxed atomic store because the harness
+    // watchdog reads it from its own thread.
+    ctx.last_site.store(site, std::memory_order_relaxed);
+    ctx.ops_snapshot.store(ctx.counters.ops, std::memory_order_relaxed);
     // Deterministic simulator: interleaving decision point before the op.
     SimYieldPoint();
   }
   if (ctx.crash == nullptr || ctx.pid == kMemoryNode) return;
   if (ctx.crash->ShouldCrash(ctx.pid, site, after_op)) {
-    throw ProcessCrash{ctx.pid, site, after_op, LogicalNow()};
+    // Stamp with the caller's own issued tick, not the global reservation
+    // frontier: with clock_block > 1 the frontier runs ahead of every
+    // thread by up to a block per thread, which skewed failure timestamps
+    // (and everything conditioned on them) by the same amount.
+    throw ProcessCrash{ctx.pid, site, after_op, LogicalTick()};
   }
 }
 
@@ -110,7 +118,13 @@ bool BatchCrash::ShouldCrash(int pid, const char* site, bool after_op) {
       return false;
     }
   }
-  const uint64_t now = LogicalNow();
+  // The calling process's own issued tick, NOT LogicalNow(): the global
+  // reservation frontier runs ahead of the caller by up to clock_block
+  // ticks per thread, which made batches fire wildly early under the
+  // sharded clock (clock_block > 1). The per-thread tick is exact for
+  // the caller and block-granular across threads — a batch fires at each
+  // process's first operation whose own logical time passed the trigger.
+  const uint64_t now = LogicalTick();
   const uint64_t bit = 1ULL << pid;
   for (size_t i = 0; i < batches_.size(); ++i) {
     if (now < batches_[i].at_logical_time) continue;
@@ -126,12 +140,28 @@ bool BatchCrash::ShouldCrash(int pid, const char* site, bool after_op) {
 
 bool CompositeCrash::ShouldCrash(int pid, const char* site, bool after_op) {
   for (CrashController* part : parts_) {
-    if (part->ShouldCrash(pid, site, after_op)) {
-      NoteCrash();
-      return true;
-    }
+    // The firing leaf already counted itself (NoteCrash); counting here
+    // too made crashes() disagree with the harness FailureLog whenever
+    // controllers were nested. crashes() sums the parts instead.
+    if (part->ShouldCrash(pid, site, after_op)) return true;
   }
   return false;
+}
+
+uint64_t CompositeCrash::crashes() const {
+  uint64_t total = 0;
+  for (const CrashController* part : parts_) total += part->crashes();
+  return total;
+}
+
+bool SigkillCrash::ShouldCrash(int pid, const char* site, bool after_op) {
+  if (!inner_->ShouldCrash(pid, site, after_op)) return false;
+  if (slots_ != nullptr && pid >= 0 && pid < kMaxProcs) {
+    slots_[pid].site.store(site, std::memory_order_relaxed);
+    slots_[pid].fired.fetch_add(1, std::memory_order_release);
+  }
+  ::raise(SIGKILL);  // real process death; never returns
+  return false;      // unreachable
 }
 
 }  // namespace rme

@@ -43,8 +43,14 @@ class CrashController {
   /// Returns true to crash process `pid` at this point.
   virtual bool ShouldCrash(int pid, const char* site, bool after_op) = 0;
 
-  /// Total crashes this controller has triggered.
-  uint64_t crashes() const { return crashes_.load(std::memory_order_relaxed); }
+  /// Total crashes this controller has triggered. Exactly one controller
+  /// counts each crash — the firing leaf — so for any (possibly nested)
+  /// controller tree, crashes() of the root equals the number of
+  /// ProcessCrash exceptions delivered (== the harness failure count).
+  /// Virtual so aggregates (CompositeCrash) can sum their parts.
+  virtual uint64_t crashes() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
 
  protected:
   /// Registers a triggered crash (called by implementations on `true`).
@@ -134,6 +140,10 @@ class NthOpCrash final : public CrashController {
 /// process in the batch crashes at its next shared-memory operation —
 /// or, with `site_suffix`, at its next operation on a matching site
 /// (e.g. "filter.tail.fas" to make the whole batch unsafe).
+///
+/// "Logical time" is each process's own issued tick (LogicalTick): exact
+/// per process, block-granular across processes under the sharded clock.
+/// With clock_block == 1 this is the seed's exact global-time semantics.
 class BatchCrash final : public CrashController {
  public:
   struct Batch {
@@ -151,16 +161,50 @@ class BatchCrash final : public CrashController {
   std::vector<std::atomic<uint64_t>> fired_;
 };
 
-/// Consults a list of controllers in order.
+/// Consults a list of controllers in order. Does not count crashes
+/// itself: the firing leaf does, and crashes() sums the parts (so totals
+/// agree with the harness FailureLog even when controllers are nested).
 class CompositeCrash final : public CrashController {
  public:
   explicit CompositeCrash(std::vector<CrashController*> parts)
       : parts_(std::move(parts)) {}
 
   bool ShouldCrash(int pid, const char* site, bool after_op) override;
+  uint64_t crashes() const override;
 
  private:
   std::vector<CrashController*> parts_;
+};
+
+/// Real-process crash mode (runtime/fork_harness): wraps any controller
+/// and, when the inner controller fires, kills the calling process with
+/// SIGKILL instead of letting the instrumentation throw ProcessCrash —
+/// the process dies for real, no unwinding, no destructors. The fork
+/// harness respawns the victim and re-runs Recover() against the
+/// surviving shared segment.
+///
+/// `slots` (if non-null) points at a kMaxProcs array in the shared
+/// segment; just before the kill, the firing pid's slot records the site
+/// label (a string literal — its address is valid in every forked
+/// process) and bumps its fired count, so the parent can attribute the
+/// death to child-side injection and classify the crash point as
+/// safe/sensitive. raise(SIGKILL) never returns.
+class SigkillCrash final : public CrashController {
+ public:
+  struct PidSlot {
+    std::atomic<uint64_t> fired{0};
+    std::atomic<const char*> site{nullptr};
+  };
+
+  SigkillCrash(CrashController* inner, PidSlot* slots)
+      : inner_(inner), slots_(slots) {}
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+  uint64_t crashes() const override { return inner_->crashes(); }
+
+ private:
+  CrashController* inner_;
+  PidSlot* slots_;  ///< kMaxProcs entries, or null
 };
 
 }  // namespace rme

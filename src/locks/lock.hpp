@@ -49,6 +49,16 @@ class RecoverableLock {
   /// (BaLock reports the deepest level reached; others report 0).
   virtual int LastPathDepth(int /*pid*/) const { return 0; }
 
+  /// Real-process crash mode (runtime/fork_harness): true iff the lock's
+  /// entire mutable state is allocated while its constructor runs (and
+  /// thus captured by a shm::PlacementScope into a shared segment), and
+  /// the lock tolerates a holder dying for real (SIGKILL, no unwinding)
+  /// and recovering via Recover(). Every recoverable lock in the zoo
+  /// satisfies this by construction — all per-request state lives in
+  /// rmr::Atomic variables allocated up front; non-recoverable baselines
+  /// (mcs) must return false: a killed holder would wedge them forever.
+  virtual bool SupportsSharedPlacement() const { return true; }
+
   /// Called by the harness when `pid` stops issuing requests for good
   /// (graceful end of a finite run). The paper's model has processes
   /// request forever; finite experiments need this so that resources the

@@ -26,6 +26,10 @@ class McsLock final : public RecoverableLock {
   void Exit(int pid) override;
   std::string name() const override { return "mcs"; }
 
+  /// Not crash-tolerant: a holder killed mid-CS never releases, so the
+  /// fork harness must not run it under real SIGKILL injection.
+  bool SupportsSharedPlacement() const override { return false; }
+
  private:
   int n_;
   rmr::Atomic<QNode*> tail_{nullptr};

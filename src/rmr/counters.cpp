@@ -33,6 +33,12 @@ MemoryModelConfig& memory_model_config() {
 
 uint64_t LogicalNow() { return g_clock_next.load(std::memory_order_relaxed); }
 
+uint64_t LogicalTick() {
+  // clock_next always equals the last tick handed out to this thread
+  // (AdvanceLogicalClock pre-increments), or 0 before the first op.
+  return tls_context.clock_next;
+}
+
 uint64_t AdvanceLogicalClock() {
   ProcessContext& ctx = tls_context;
   if (ctx.clock_next == ctx.clock_end) {

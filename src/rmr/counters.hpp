@@ -6,6 +6,7 @@
 // it flows through rmr::Atomic instrumentation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "rmr/memory_model.hpp"
@@ -18,8 +19,10 @@ class CrashController;  // crash/crash.hpp
 /// instrumentation touches on every shared-memory operation (hot); the
 /// diagnostic fields the stall watchdog polls from its own thread live on
 /// a separate line (cold), so watchdog reads never steal the owner's hot
-/// line. The struct stays trivially copyable: the fiber simulator swaps
-/// whole images in and out of the thread-local slot.
+/// line. The struct stays copyable (hand-written, since last_site is an
+/// atomic): the fiber simulator swaps whole images in and out of the
+/// thread-local slot, always from the owning thread, so relaxed copies of
+/// last_site are race-free.
 struct alignas(kCacheLineBytes) ProcessContext {
   // --- hot: written by the owner on every instrumented op ---
   int pid = kMemoryNode;          ///< process id in [0, n); kMemoryNode = unbound
@@ -37,8 +40,32 @@ struct alignas(kCacheLineBytes) ProcessContext {
   // --- cold: polled cross-thread by the stall watchdog ---
   /// Site label of the most recent shared-memory operation. Diagnostic:
   /// the harness watchdog prints it on a stall, which pinpoints the spin
-  /// loop a stuck process is in.
-  alignas(kCacheLineBytes) const char* last_site = "";
+  /// loop a stuck process is in. Atomic (relaxed) because the watchdog
+  /// thread reads it concurrently with the owner's writes; the payload is
+  /// always a string literal, so a relaxed pointer exchange is safe.
+  alignas(kCacheLineBytes) std::atomic<const char*> last_site{""};
+  /// counters.ops as of the most recent operation's pre-op probe; kept
+  /// beside last_site (same cold line, same relaxed discipline) so the
+  /// watchdog can report per-process op counts without racing on the
+  /// hot-path OpCounters fields.
+  std::atomic<uint64_t> ops_snapshot{0};
+
+  ProcessContext() = default;
+  ProcessContext(const ProcessContext& o) { *this = o; }
+  ProcessContext& operator=(const ProcessContext& o) {
+    if (this == &o) return *this;
+    pid = o.pid;
+    crash = o.crash;
+    clock_next = o.clock_next;
+    clock_end = o.clock_end;
+    counters = o.counters;
+    in_cs = o.in_cs;
+    last_site.store(o.last_site.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    ops_snapshot.store(o.ops_snapshot.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 /// Registry of currently bound contexts (diagnostics; read by the stall

@@ -90,6 +90,17 @@ MemoryModelConfig& memory_model_config();
 uint64_t LogicalNow();
 uint64_t AdvanceLogicalClock();
 
+/// The last tick issued to the *calling thread* (0 before its first op).
+/// Unlike LogicalNow() — which reads the global reservation frontier and
+/// therefore runs ahead of every thread by up to clock_block ticks per
+/// thread — this is the exact logical time of the caller's most recent
+/// shared-memory operation. Failure timestamps and time-triggered crash
+/// controllers (BatchCrash) use it: per-thread it is exact, and across
+/// threads it is comparable at block granularity, which clock sharding
+/// already makes the best obtainable order (DESIGN.md §9). With
+/// clock_block == 1 it coincides with the seed's per-op global clock.
+uint64_t LogicalTick();
+
 namespace rmr_detail {
 
 // Forward-declared crash hook, implemented in crash/crash.cpp. Called

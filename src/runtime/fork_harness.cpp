@@ -1,0 +1,492 @@
+#include "runtime/fork_harness.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "shm/shm_layout.hpp"
+#include "shm/shm_segment.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+
+namespace {
+
+using shm::AppendEvent;
+using shm::EventKind;
+using shm::PerPidControl;
+using shm::ShmControl;
+using shm::ShmEvent;
+
+/// The whole life of simulated process `pid`, executed in a forked child.
+/// Never returns: _Exit(0) on graceful completion; SIGKILL (self-raised
+/// or parent-sent) is the only other way out. All state that must
+/// survive a kill lives in the shared segment: the lock's own variables,
+/// the control block, and the per-pid progress words this loop resumes
+/// from after a respawn.
+[[noreturn]] void ChildMain(RecoverableLock* lock, ShmControl* ctl,
+                            rmr::Atomic<uint64_t>* cs_scratch,
+                            CrashController* crash, int pid,
+                            const ForkCrashConfig& cfg) {
+  // The child inherits the parent thread's context image; start clean
+  // (fresh clock block, no counters) before binding.
+  CurrentProcess() = ProcessContext{};
+  ProcessBinding bind(pid, crash);
+  PerPidControl& me = ctl->per_pid[pid];
+  Prng rng(cfg.seed, static_cast<uint64_t>(pid) + 7777);
+
+  // A set in_cs flag means our previous incarnation died inside the
+  // logged CS region: tell the post-hoc checker (it releases the corpse's
+  // holder bit and, for strong locks, records the reentry obligation).
+  if (me.in_cs.load(std::memory_order_relaxed) != 0) {
+    AppendEvent(ctl, EventKind::kCrashNoted, pid,
+                me.done.load(std::memory_order_relaxed));
+    me.in_cs.store(0, std::memory_order_relaxed);
+  }
+
+  while (me.done.load(std::memory_order_relaxed) < cfg.passages_per_proc) {
+    const uint64_t passage = me.done.load(std::memory_order_relaxed);
+    // One kReqStart per super-passage, even across kills mid-passage
+    // (req_open survives the respawn).
+    if (me.req_open.load(std::memory_order_relaxed) == 0) {
+      me.req_open.store(1, std::memory_order_relaxed);
+      AppendEvent(ctl, EventKind::kReqStart, pid, passage);
+    }
+    me.attempts.fetch_add(1, std::memory_order_relaxed);
+
+    lock->Recover(pid);
+    lock->Enter(pid);
+
+    // in_cs brackets the logged CS region from outside, so a kill
+    // anywhere between the ENTER and EXIT events is always noticed by
+    // the next incarnation.
+    me.in_cs.store(1, std::memory_order_relaxed);
+    AppendEvent(ctl, EventKind::kEnter, pid, passage);
+    const uint32_t prev = ctl->owner.exchange(static_cast<uint32_t>(pid) + 1,
+                                              std::memory_order_acq_rel);
+    if (prev != 0 && prev != static_cast<uint32_t>(pid) + 1) {
+      ctl->cs_overlap_events.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (int j = 0; j < cfg.cs_shared_ops; ++j) {
+      cs_scratch->FetchAdd(1, "cs.op");
+    }
+    ctl->owner.store(0, std::memory_order_release);
+    AppendEvent(ctl, EventKind::kExit, pid, passage);
+    me.in_cs.store(0, std::memory_order_relaxed);
+
+    lock->Exit(pid);
+    AppendEvent(ctl, EventKind::kReqDone, pid, passage);
+    me.req_open.store(0, std::memory_order_relaxed);
+    me.done.fetch_add(1, std::memory_order_relaxed);
+
+    for (int j = 0; j < cfg.ncs_local_work; ++j) (void)rng.Next();
+  }
+
+  // Graceful shutdown: no injection while releasing leftover resources.
+  CurrentProcess().crash = nullptr;
+  lock->OnProcessDone(pid);
+  AppendEvent(ctl, EventKind::kDone, pid,
+              me.done.load(std::memory_order_relaxed));
+  me.finished.store(1, std::memory_order_release);
+  std::_Exit(0);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepBriefly() {
+  struct timespec ts{0, 200'000};  // 200us
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Post-hoc verdicts from the event log. Runs in the parent after every
+/// child is dead or finished, so the log is quiescent.
+struct LogVerdicts {
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t admissible_overlaps = 0;
+  uint64_t responsiveness_deficits = 0;
+  int max_concurrent = 0;
+};
+
+LogVerdicts ScanLog(const ShmControl* ctl, bool strong) {
+  LogVerdicts v;
+  uint64_t holders = 0;   // pids currently inside the logged CS region
+  uint64_t obliged = 0;   // crashed in CS, owed reentry (strong locks)
+  bool req_open[kMaxProcs] = {};
+
+  // Consequence intervals (paper Def 3.1, reconstructed): a kill's
+  // interval stays active until every process that had a request open at
+  // kill time completes one. mask == 0 means closed.
+  struct Interval {
+    uint64_t mask;
+    bool unsafe;
+  };
+  std::vector<Interval> intervals;
+
+  const uint64_t count =
+      std::min<uint64_t>(ctl->log_next.load(std::memory_order_relaxed),
+                         ctl->log_cap);
+  for (uint64_t i = 0; i < count; ++i) {
+    const ShmEvent& e = ctl->log[i];
+    const auto kind = static_cast<EventKind>(
+        e.kind.load(std::memory_order_acquire));
+    if (kind == EventKind::kInvalid) continue;  // writer killed mid-append
+    const int pid = static_cast<int>(e.pid);
+    const uint64_t bit = 1ULL << pid;
+
+    switch (kind) {
+      case EventKind::kReqStart:
+        req_open[pid] = true;
+        break;
+
+      case EventKind::kEnter: {
+        if (strong && (obliged & ~bit) != 0) ++v.bcsr_violations;
+        obliged &= ~bit;
+        if ((holders & ~bit) != 0) {
+          const int k = std::popcount(holders | bit);
+          if (strong) {
+            ++v.me_violations;
+          } else {
+            uint64_t active = 0, active_unsafe = 0;
+            for (const Interval& iv : intervals) {
+              if (iv.mask == 0) continue;
+              ++active;
+              if (iv.unsafe) ++active_unsafe;
+            }
+            if (active == 0) {
+              ++v.me_violations;
+            } else {
+              ++v.admissible_overlaps;
+              if (active_unsafe < static_cast<uint64_t>(k - 1)) {
+                ++v.responsiveness_deficits;
+              }
+            }
+          }
+        }
+        holders |= bit;
+        v.max_concurrent = std::max(v.max_concurrent, std::popcount(holders));
+        break;
+      }
+
+      case EventKind::kExit:
+        holders &= ~bit;
+        break;
+
+      case EventKind::kReqDone:
+        req_open[pid] = false;
+        for (Interval& iv : intervals) iv.mask &= ~bit;
+        break;
+
+      case EventKind::kKill: {
+        uint64_t mask = 0;
+        for (int j = 0; j < kMaxProcs; ++j) {
+          if (req_open[j]) mask |= 1ULL << j;
+        }
+        intervals.push_back({mask, e.unsafe != 0});
+        break;
+      }
+
+      case EventKind::kCrashNoted:
+        // Only meaningful if the corpse's ENTER made it into the log;
+        // the ~2-instruction windows around the in_cs flag flips can
+        // produce a kCrashNoted with no logged CS, which must not plant
+        // a phantom obligation.
+        if ((holders & bit) != 0) {
+          holders &= ~bit;
+          if (strong) obliged |= bit;
+        }
+        break;
+
+      case EventKind::kDone:
+      case EventKind::kInvalid:
+        break;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
+                                     const ForkCrashConfig& cfg) {
+  RME_CHECK(cfg.num_procs > 0 && cfg.num_procs <= kMaxProcs);
+  RME_CHECK(cfg.passages_per_proc > 0);
+  const int n = cfg.num_procs;
+
+  shm::Segment seg(cfg.segment_bytes, cfg.shm_name);
+  ShmControl* ctl = seg.New<ShmControl>();
+  {
+    // Every passage logs 4 events; every kill logs up to 2 (kKill +
+    // kCrashNoted) and forces one passage retry (4 more); kDone per pid.
+    const uint64_t kill_budget =
+        static_cast<uint64_t>(std::max<int64_t>(cfg.self_kill_budget, 0)) +
+        cfg.independent_kills +
+        cfg.batch_kill_events *
+            static_cast<uint64_t>(cfg.batch_size <= 0 ? n : cfg.batch_size);
+    ctl->log_cap = 4 * static_cast<uint64_t>(n) * cfg.passages_per_proc +
+                   8 * kill_budget + 64 * static_cast<uint64_t>(n) + 1024;
+    ctl->log = seg.NewArray<ShmEvent>(ctl->log_cap);
+  }
+  auto* cs_scratch = seg.New<rmr::Atomic<uint64_t>>(0);
+
+  // Crash controller chain in the segment: the PRNG streams and the kill
+  // budget must be shared across respawns and processes, or "exactly K
+  // failures" would drift with every respawned child's private copy.
+  CrashController* crash = nullptr;
+  if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
+    auto* inner = seg.New<RandomCrash>(cfg.seed ^ 0x51684c1ull,
+                                       cfg.self_kill_per_op,
+                                       cfg.self_kill_budget);
+    crash = seg.New<SigkillCrash>(inner, ctl->kill_slots);
+  }
+
+  // Construct the lock with operator new diverted into the segment: the
+  // object and its entire ownership tree (qnode pools, sub-lock vectors,
+  // label strings) land in shared memory at addresses valid in every
+  // forked child.
+  std::unique_ptr<RecoverableLock> lock;
+  {
+    shm::PlacementScope scope(&seg);
+    lock = MakeLock(lock_name, n);
+  }
+  RME_CHECK_MSG(lock->SupportsSharedPlacement(),
+                "lock cannot run under real-process crash injection");
+  RME_CHECK_MSG(seg.Contains(lock.get()),
+                "lock object escaped the shared segment");
+
+  ResetGlobalAbort();
+  ForkCrashResult result;
+
+  struct ChildState {
+    pid_t os_pid = -1;
+    bool alive = false;
+    bool finished = false;
+    bool parent_kill_pending = false;
+    uint64_t self_kills_seen = 0;
+  };
+  std::vector<ChildState> children(static_cast<size_t>(n));
+
+  auto spawn = [&](int pid) {
+    const pid_t c = ::fork();
+    RME_CHECK_MSG(c >= 0, "fork failed");
+    if (c == 0) {
+      ChildMain(lock.get(), ctl, cs_scratch, crash, pid, cfg);
+    }
+    children[static_cast<size_t>(pid)].os_pid = c;
+    children[static_cast<size_t>(pid)].alive = true;
+  };
+
+  const double t0 = NowSeconds();
+  for (int pid = 0; pid < n; ++pid) spawn(pid);
+
+  Prng kill_rng(cfg.seed, 0xdeadull);
+  uint64_t independent_left = cfg.independent_kills;
+  uint64_t batches_left = cfg.batch_kill_events;
+  double next_kill_at = t0 + cfg.kill_interval_ms / 1000.0;
+
+  uint64_t last_progress = 0;
+  double last_progress_at = t0;
+  bool shutting_down = false;
+
+  auto progress_now = [&] {
+    uint64_t p = result.kills;
+    for (int pid = 0; pid < n; ++pid) {
+      const PerPidControl& pc = ctl->per_pid[pid];
+      p += pc.done.load(std::memory_order_relaxed) +
+           pc.attempts.load(std::memory_order_relaxed);
+    }
+    return p;
+  };
+
+  auto kill_victim = [&](int pid) {
+    ChildState& cs = children[static_cast<size_t>(pid)];
+    cs.parent_kill_pending = true;
+    // Append before the signal so the consequence interval is open by
+    // the time any other process could observe the death. Parent-side
+    // kills land at an arbitrary instruction, so classify them as
+    // unsafe, conservatively.
+    AppendEvent(ctl, EventKind::kKill, pid,
+                ctl->per_pid[pid].done.load(std::memory_order_relaxed),
+                /*unsafe=*/true);
+    ::kill(cs.os_pid, SIGKILL);
+  };
+
+  for (;;) {
+    // Reap every child that died since the last poll.
+    for (;;) {
+      int status = 0;
+      const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+      if (dead <= 0) break;
+      int pid = -1;
+      for (int j = 0; j < n; ++j) {
+        if (children[static_cast<size_t>(j)].os_pid == dead) {
+          pid = j;
+          break;
+        }
+      }
+      if (pid < 0) continue;  // not ours
+      ChildState& cs = children[static_cast<size_t>(pid)];
+      cs.alive = false;
+
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        RME_CHECK_MSG(
+            ctl->per_pid[pid].finished.load(std::memory_order_acquire) != 0,
+            "child exited cleanly without finishing its workload");
+        cs.finished = true;
+        continue;
+      }
+
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+        ++result.kills;
+        const uint64_t fired =
+            ctl->kill_slots[pid].fired.load(std::memory_order_acquire);
+        if (fired > cs.self_kills_seen) {
+          // Child-side site-precise kill: classify the site, and append
+          // the kKill the victim could not write itself (unless a
+          // simultaneous parent kill already did).
+          cs.self_kills_seen = fired;
+          ++result.child_kills;
+          const char* site =
+              ctl->kill_slots[pid].site.load(std::memory_order_relaxed);
+          const bool unsafe =
+              site != nullptr && lock->IsSensitiveSite(site, true);
+          if (unsafe) ++result.unsafe_kills;
+          if (!cs.parent_kill_pending) {
+            AppendEvent(ctl, EventKind::kKill, pid,
+                        ctl->per_pid[pid].done.load(std::memory_order_relaxed),
+                        unsafe);
+          }
+        } else {
+          ++result.parent_kills;
+          ++result.unsafe_kills;  // arbitrary-point kill: assume unsafe
+        }
+        cs.parent_kill_pending = false;
+        if (!shutting_down) spawn(pid);  // recover: fresh fork, Recover()
+        continue;
+      }
+
+      // Died some other way (abort in a child RME_CHECK, sanitizer, ...):
+      // a harness bug, not an injected failure. Do not respawn.
+      ++result.child_errors;
+      cs.finished = true;
+    }
+
+    const bool all_done = std::all_of(
+        children.begin(), children.end(),
+        [](const ChildState& c) { return c.finished || !c.alive; });
+    if (std::all_of(children.begin(), children.end(),
+                    [](const ChildState& c) { return c.finished; })) {
+      break;
+    }
+    if (shutting_down && all_done) break;
+
+    const double now = NowSeconds();
+
+    // Parent-side kill scheduling.
+    if (!shutting_down && now >= next_kill_at &&
+        (independent_left > 0 || batches_left > 0)) {
+      next_kill_at = now + cfg.kill_interval_ms / 1000.0;
+      std::vector<int> targets;
+      for (int j = 0; j < n; ++j) {
+        const ChildState& c = children[static_cast<size_t>(j)];
+        if (c.alive && !c.finished && !c.parent_kill_pending) {
+          targets.push_back(j);
+        }
+      }
+      if (!targets.empty()) {
+        const bool do_batch =
+            batches_left > 0 &&
+            (independent_left == 0 ||
+             kill_rng.NextBounded(independent_left + batches_left) <
+                 batches_left);
+        if (do_batch) {
+          --batches_left;
+          ++result.batch_events;
+          size_t want = cfg.batch_size <= 0
+                            ? targets.size()
+                            : std::min<size_t>(targets.size(),
+                                               static_cast<size_t>(cfg.batch_size));
+          // Partial Fisher-Yates: the first `want` entries become a
+          // uniform sample; kill them back-to-back (the batch regime).
+          for (size_t i = 0; i < want; ++i) {
+            const size_t j =
+                i + kill_rng.NextBounded(targets.size() - i);
+            std::swap(targets[i], targets[j]);
+            kill_victim(targets[i]);
+          }
+        } else if (independent_left > 0) {
+          --independent_left;
+          kill_victim(
+              targets[kill_rng.NextBounded(targets.size())]);
+        }
+      }
+    }
+
+    // Watchdog: no progress (passage completions, attempts, or kills).
+    const uint64_t progress = progress_now();
+    if (progress != last_progress) {
+      last_progress = progress;
+      last_progress_at = now;
+    } else if (!shutting_down &&
+               now - last_progress_at > cfg.watchdog_seconds) {
+      std::fprintf(stderr,
+                   "FORK-WATCHDOG: no progress for %.1fs running '%s'; "
+                   "killing the run\n",
+                   cfg.watchdog_seconds, lock_name.c_str());
+      result.watchdog_fired = true;
+      shutting_down = true;
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (c.alive && !c.finished) ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
+    SleepBriefly();
+  }
+
+  result.wall_seconds = NowSeconds() - t0;
+
+  for (int pid = 0; pid < n; ++pid) {
+    const PerPidControl& pc = ctl->per_pid[pid];
+    result.completed_passages += pc.done.load(std::memory_order_relaxed);
+    result.total_attempts += pc.attempts.load(std::memory_order_relaxed);
+  }
+  result.cs_overlap_events =
+      ctl->cs_overlap_events.load(std::memory_order_relaxed);
+  result.log_events = std::min<uint64_t>(
+      ctl->log_next.load(std::memory_order_relaxed), ctl->log_cap);
+  result.log_overflow =
+      ctl->log_overflow.load(std::memory_order_relaxed) != 0;
+  result.segment_bytes_used = seg.bytes_used();
+
+  const LogVerdicts v = ScanLog(ctl, lock->IsStronglyRecoverable());
+  result.me_violations = v.me_violations;
+  result.bcsr_violations = v.bcsr_violations;
+  result.admissible_overlaps = v.admissible_overlaps;
+  result.responsiveness_deficits = v.responsiveness_deficits;
+  result.max_concurrent_cs = v.max_concurrent;
+  result.lock_stats = lock->StatsString();
+  return result;
+  // `lock` (destroyed first) runs its destructors against the segment;
+  // operator delete recognizes segment pointers and leaves them to the
+  // Segment destructor, which unmaps everything at once.
+}
+
+}  // namespace rme

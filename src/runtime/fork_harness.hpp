@@ -1,0 +1,110 @@
+// Real-process crash harness: the out-of-process counterpart of
+// runtime/harness.hpp.
+//
+// The thread harness simulates a crash as an exception; here a crash is
+// a SIGKILL. The parent places the lock's entire recoverable state in a
+// POSIX shared-memory segment (shm/shm_segment.hpp), forks one child per
+// simulated process, and injects failures two ways:
+//
+//  - child-side: a SigkillCrash controller (shared PRNG/budget state in
+//    the segment) raises SIGKILL at an instrumented shared-memory
+//    operation — site-precise, like the in-process injector, but the
+//    process genuinely dies: no unwinding, no destructors, private state
+//    (registers, stack, heap) is simply gone;
+//  - parent-side: asynchronous kills at randomized wall-clock points,
+//    independently or as whole-batch kills (several pids SIGKILLed
+//    back-to-back — the paper's §7.1 batch-failure regime, including
+//    system-wide batches of all n).
+//
+// Each victim is respawned by a fresh fork from the (never-bound,
+// single-threaded) parent and re-enters the Algorithm-1 loop, where
+// Recover() runs against the surviving segment. Mutual exclusion and
+// bounded CS reentry are validated from a ticketed event log plus a live
+// CS-ownership word in the segment (shm/shm_layout.hpp), with weak-lock
+// overlaps checked for admissibility against failure consequence
+// intervals reconstructed from kill events.
+//
+// What this harness measures: crash-recovery *correctness* under real
+// process death. What it does not: RMR counts — per-passage accounting
+// lives in each child's private counters and dies with it, so RMR
+// statistics remain the in-process harness's job (EXPERIMENTS.md).
+//
+// Must be called from a single-threaded parent (it forks and the
+// children continue without exec; a multithreaded parent would leak
+// locked allocator/runtime internals into the children).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rme {
+
+struct ForkCrashConfig {
+  int num_procs = 4;
+  uint64_t passages_per_proc = 100;  ///< satisfied requests per process
+  uint64_t seed = 1;
+  int cs_shared_ops = 2;    ///< instrumented ops inside the CS
+  int ncs_local_work = 32;  ///< uninstrumented local work between requests
+
+  /// Child-side site-precise kills: each shared op kills the calling
+  /// process with probability `self_kill_per_op`, up to `self_kill_budget`
+  /// kills across the run (0 disables child-side injection).
+  double self_kill_per_op = 0.0;
+  int64_t self_kill_budget = 0;
+
+  /// Parent-side asynchronous kills: `independent_kills` single-victim
+  /// kills plus `batch_kill_events` whole-batch kills of `batch_size`
+  /// random distinct victims each (batch_size <= 0 means all n — the
+  /// system-wide crash regime). One kill event is issued roughly every
+  /// `kill_interval_ms` until the budgets are spent.
+  uint64_t independent_kills = 0;
+  uint64_t batch_kill_events = 0;
+  int batch_size = 0;
+  double kill_interval_ms = 2.0;
+
+  double watchdog_seconds = 30.0;  ///< no-progress abort
+  size_t segment_bytes = 64u << 20;
+  std::string shm_name;  ///< non-empty: named POSIX segment, else anonymous
+};
+
+struct ForkCrashResult {
+  uint64_t completed_passages = 0;
+  uint64_t total_attempts = 0;
+
+  uint64_t kills = 0;         ///< SIGKILL deaths observed (== respawns)
+  uint64_t child_kills = 0;   ///< of which child-side (site-precise)
+  uint64_t parent_kills = 0;  ///< of which parent-side independent
+  uint64_t batch_events = 0;  ///< whole-batch kill events issued
+  uint64_t unsafe_kills = 0;  ///< kills at a sensitive site (child-side
+                              ///< classified exactly; parent-side counted
+                              ///< as unsafe, conservatively)
+
+  // Post-hoc log verdicts.
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t admissible_overlaps = 0;  ///< weak locks: overlap inside an
+                                     ///< active consequence interval
+  uint64_t responsiveness_deficits = 0;
+  int max_concurrent_cs = 0;
+  /// Live ownership-word anomalies (cross-check; includes admissible
+  /// weak-lock overlaps, so nonzero here is not by itself a failure).
+  uint64_t cs_overlap_events = 0;
+
+  uint64_t log_events = 0;
+  bool log_overflow = false;
+  bool watchdog_fired = false;
+  uint64_t child_errors = 0;  ///< children that exited abnormally (not
+                              ///< by our SIGKILL) — harness bug signal
+  double wall_seconds = 0.0;
+  size_t segment_bytes_used = 0;
+  std::string lock_stats;
+};
+
+/// Builds `lock_name` for cfg.num_procs processes inside a fresh shared
+/// segment, runs the fork workload, validates the log, and returns the
+/// verdicts. Aborts (RME_CHECK) on configuration errors, including locks
+/// whose SupportsSharedPlacement() is false.
+ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
+                                     const ForkCrashConfig& cfg);
+
+}  // namespace rme

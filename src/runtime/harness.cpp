@@ -185,8 +185,10 @@ RunResult RunWorkload(RecoverableLock& lock, const WorkloadConfig& cfg,
           ProcessContext* ctx = BoundContext(pid);
           if (ctx != nullptr) {
             std::fprintf(stderr, "  p%-3d @ %s (ops=%llu)\n", pid,
-                         ctx->last_site,
-                         static_cast<unsigned long long>(ctx->counters.ops));
+                         ctx->last_site.load(std::memory_order_relaxed),
+                         static_cast<unsigned long long>(
+                             ctx->ops_snapshot.load(
+                                 std::memory_order_relaxed)));
           }
         }
         RequestGlobalAbort();

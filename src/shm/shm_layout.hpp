@@ -1,0 +1,94 @@
+// Control-block layout for the fork-based real-crash harness: everything
+// the parent and its forked children share beyond the lock's own state.
+// Lives in the shared segment (shm_segment.hpp), so every field that is
+// mutated after the first fork is a std::atomic.
+//
+// Correctness validation is two-layered:
+//  - a live CS-ownership word (`owner`) that every child exchanges on
+//    entry/exit of the critical section — a cheap online tripwire for
+//    overlapping critical sections;
+//  - an append-only event log (ticketed by one fetch_add, so totally
+//    ordered) that the parent scans post-hoc to check mutual exclusion,
+//    bounded CS reentry, and — for weakly recoverable locks — whether
+//    each overlap was admissible under an active failure consequence
+//    interval (paper Defs 3.1/3.2). The log is the real checker; the
+//    ownership word is a cross-check.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "crash/crash.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme::shm {
+
+enum class EventKind : uint32_t {
+  kInvalid = 0,  ///< slot reserved but never written (writer was killed)
+  kReqStart,     ///< super-passage start (mirrors FailureLog::OnRequestStart)
+  kEnter,        ///< CS entered (after lock.Enter returned)
+  kExit,         ///< CS left (before lock.Exit)
+  kReqDone,      ///< passage satisfied (after lock.Exit returned)
+  kKill,         ///< parent observed/issued a SIGKILL of `pid`
+  kCrashNoted,   ///< respawned `pid` found its in_cs flag set (died in CS)
+  kDone,         ///< pid finished its workload gracefully
+};
+
+struct ShmEvent {
+  uint32_t pid = 0;
+  /// EventKind; atomic and written *last* (release) so a writer killed
+  /// mid-append leaves the slot reading as kInvalid, never as a valid
+  /// kind with garbage operands.
+  std::atomic<uint32_t> kind{0};
+  uint64_t passage = 0;   ///< pid's passage index at the event
+  uint32_t unsafe = 0;    ///< kKill only: crash hit a sensitive site
+  uint32_t pad = 0;
+};
+
+/// Per-child control words, one cache line each so children never steal
+/// each other's lines on the passage hot path.
+struct alignas(kCacheLineBytes) PerPidControl {
+  std::atomic<uint64_t> done{0};      ///< completed passages (persists kills)
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint32_t> in_cs{0};     ///< set around the logged CS region
+  std::atomic<uint32_t> req_open{0};  ///< super-passage in flight
+  std::atomic<uint32_t> finished{0};  ///< graceful completion
+};
+
+struct ShmControl {
+  /// Live CS ownership word: 0 free, pid+1 held. Children exchange on
+  /// CS entry; any unexpected previous owner bumps cs_overlap_events.
+  std::atomic<uint32_t> owner{0};
+  std::atomic<uint64_t> cs_overlap_events{0};
+
+  /// Event log: `log` points into the same segment, so the address is
+  /// valid in every process of the fork tree.
+  std::atomic<uint64_t> log_next{0};
+  std::atomic<uint32_t> log_overflow{0};
+  uint64_t log_cap = 0;
+  ShmEvent* log = nullptr;
+
+  /// Child-side SIGKILL attribution (written by SigkillCrash pre-kill).
+  SigkillCrash::PidSlot kill_slots[kMaxProcs];
+
+  PerPidControl per_pid[kMaxProcs];
+};
+
+/// Appends one event (any process). A writer killed between reserving
+/// the slot and filling it leaves kind == kInvalid, which scans skip.
+inline void AppendEvent(ShmControl* ctl, EventKind kind, int pid,
+                        uint64_t passage, bool unsafe = false) {
+  const uint64_t slot =
+      ctl->log_next.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= ctl->log_cap) {
+    ctl->log_overflow.store(1, std::memory_order_relaxed);
+    return;
+  }
+  ShmEvent& e = ctl->log[slot];
+  e.pid = static_cast<uint32_t>(pid);
+  e.passage = passage;
+  e.unsafe = unsafe ? 1 : 0;
+  e.kind.store(static_cast<uint32_t>(kind), std::memory_order_release);
+}
+
+}  // namespace rme::shm

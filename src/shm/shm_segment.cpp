@@ -1,0 +1,227 @@
+#include "shm/shm_segment.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace rme::shm {
+
+namespace {
+
+/// Registry of live segments, consulted by the replaced operator delete
+/// (which must work on any thread, long after the PlacementScope ended).
+/// Fixed capacity: the fork harness uses one segment per run and runs
+/// are sequential; a handful of slots is plenty.
+constexpr int kMaxSegments = 8;
+
+struct SegmentRange {
+  std::atomic<const char*> base{nullptr};
+  std::atomic<size_t> size{0};
+};
+SegmentRange g_segments[kMaxSegments];
+
+void RegisterSegment(const void* base, size_t size) {
+  for (auto& slot : g_segments) {
+    const char* expected = nullptr;
+    if (slot.base.compare_exchange_strong(
+            expected, static_cast<const char*>(base),
+            std::memory_order_acq_rel)) {
+      slot.size.store(size, std::memory_order_release);
+      return;
+    }
+  }
+  RME_CHECK_MSG(false, "too many live shm segments");
+}
+
+void UnregisterSegment(const void* base) {
+  for (auto& slot : g_segments) {
+    if (slot.base.load(std::memory_order_acquire) == base) {
+      slot.size.store(0, std::memory_order_release);
+      slot.base.store(nullptr, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+thread_local Segment* tls_placement_segment = nullptr;
+
+size_t RoundUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
+
+}  // namespace
+
+Segment::Segment(size_t bytes, const std::string& name, bool keep_name) {
+  RME_CHECK_MSG(bytes >= sizeof(SegmentHeader) + 4096,
+                "shm segment too small to be useful");
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  capacity_ = RoundUp(bytes, page);
+
+  if (name.empty()) {
+    base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    RME_CHECK_MSG(base_ != MAP_FAILED, "mmap(MAP_SHARED|MAP_ANONYMOUS) failed");
+  } else {
+    std::string path = name[0] == '/' ? name : "/" + name;
+    ::shm_unlink(path.c_str());  // stale run with the same name
+    const int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    RME_CHECK_MSG(fd >= 0, "shm_open failed");
+    RME_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(capacity_)) == 0,
+                  "ftruncate on shm segment failed");
+    base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   fd, 0);
+    ::close(fd);
+    RME_CHECK_MSG(base_ != MAP_FAILED, "mmap of shm segment failed");
+    if (keep_name) {
+      shm_name_ = path;
+    } else {
+      ::shm_unlink(path.c_str());  // mapping stays; the name never leaks
+    }
+  }
+
+  auto* hdr = ::new (base_) SegmentHeader();
+  hdr->capacity = capacity_;
+  hdr->bump.store(RoundUp(sizeof(SegmentHeader), alignof(std::max_align_t)),
+                  std::memory_order_relaxed);
+  RegisterSegment(base_, capacity_);
+}
+
+Segment::~Segment() {
+  UnregisterSegment(base_);
+  ::munmap(base_, capacity_);
+  if (!shm_name_.empty()) ::shm_unlink(shm_name_.c_str());
+}
+
+size_t Segment::bytes_used() const {
+  return header()->bump.load(std::memory_order_relaxed);
+}
+
+void* Segment::Allocate(size_t bytes, size_t align) {
+  RME_CHECK(align != 0 && (align & (align - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  std::atomic<uint64_t>& bump = header()->bump;
+  uint64_t offset = bump.load(std::memory_order_relaxed);
+  uint64_t start;
+  do {
+    start = RoundUp(offset, align);
+    if (start + bytes > capacity_) {
+      std::fprintf(stderr,
+                   "shm::Segment exhausted: want %zu bytes (align %zu), "
+                   "used %llu of %zu — raise segment_bytes\n",
+                   bytes, align, static_cast<unsigned long long>(offset),
+                   capacity_);
+      std::abort();
+    }
+  } while (!bump.compare_exchange_weak(offset, start + bytes,
+                                       std::memory_order_relaxed));
+  return static_cast<char*>(base_) + start;
+}
+
+bool PointerInAnySegment(const void* p) {
+  const char* c = static_cast<const char*>(p);
+  for (const auto& slot : g_segments) {
+    const char* base = slot.base.load(std::memory_order_acquire);
+    if (base == nullptr) continue;
+    const size_t size = slot.size.load(std::memory_order_acquire);
+    if (c >= base && c < base + size) return true;
+  }
+  return false;
+}
+
+PlacementScope::PlacementScope(Segment* seg) {
+  RME_CHECK_MSG(tls_placement_segment == nullptr,
+                "nested shm::PlacementScope");
+  RME_CHECK(seg != nullptr);
+  tls_placement_segment = seg;
+}
+
+PlacementScope::~PlacementScope() { tls_placement_segment = nullptr; }
+
+Segment* ActivePlacementSegment() { return tls_placement_segment; }
+
+}  // namespace rme::shm
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete replacement.
+//
+// Linked into a binary only when it references this translation unit
+// (i.e. uses shm::Segment); everything else keeps the default allocator.
+// Outside a PlacementScope these forward to malloc/free exactly; inside
+// one, allocations divert to the scope's segment arena. delete recognizes
+// arena pointers by address range and leaves them alone — the arena is
+// reclaimed wholesale when the segment dies.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* ShmAwareAlloc(size_t size, size_t align) {
+  if (rme::shm::Segment* seg = rme::shm::ActivePlacementSegment()) {
+    return seg->Allocate(size, align);
+  }
+  void* p = nullptr;
+  if (align <= alignof(std::max_align_t)) {
+    p = std::malloc(size != 0 ? size : 1);
+  } else if (posix_memalign(&p, align, size != 0 ? size : align) != 0) {
+    p = nullptr;
+  }
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void ShmAwareFree(void* p) {
+  if (p == nullptr || rme::shm::PointerInAnySegment(p)) return;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return ShmAwareAlloc(size, alignof(std::max_align_t));
+}
+void* operator new[](std::size_t size) {
+  return ShmAwareAlloc(size, alignof(std::max_align_t));
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return ShmAwareAlloc(size, static_cast<size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ShmAwareAlloc(size, static_cast<size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ShmAwareAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return ShmAwareAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { ShmAwareFree(p); }
+void operator delete[](void* p) noexcept { ShmAwareFree(p); }
+void operator delete(void* p, std::size_t) noexcept { ShmAwareFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { ShmAwareFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { ShmAwareFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { ShmAwareFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  ShmAwareFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  ShmAwareFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  ShmAwareFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  ShmAwareFree(p);
+}

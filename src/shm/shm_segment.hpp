@@ -1,0 +1,132 @@
+// POSIX shared-memory segment + bump arena for the real-process crash
+// mode (runtime/fork_harness).
+//
+// The in-process simulator models a crash as an exception that unwinds a
+// thread while rmr::Atomic state survives. This layer makes "survives"
+// literal: a lock's entire recoverable state is placed in one MAP_SHARED
+// segment created by the parent *before* it forks the worker processes,
+// so a child killed with SIGKILL takes its private memory with it while
+// the segment — the real NVRAM stand-in — persists at the same virtual
+// address in every process (fork inherits the mapping).
+//
+// Placement works by construction-time capture: every lock in the zoo
+// allocates all of its mutable state while its constructor runs (arrays
+// of rmr::Atomic, qnode pools, sub-lock trees — see
+// RecoverableLock::SupportsSharedPlacement). A PlacementScope diverts
+// global operator new on the constructing thread into the segment's bump
+// arena, so `MakeLock(...)` inside a scope lands the lock object and its
+// whole ownership tree in shared memory with zero changes to lock code.
+// The arena never frees: operator delete recognizes segment pointers and
+// lets the destructor run without touching the heap (the memory is
+// reclaimed when the segment is destroyed).
+//
+// Layout: [SegmentHeader | bump-allocated objects ...]. The header has a
+// stable magic/version so a segment can be sanity-checked by a process
+// that did not create it (tools, post-mortem inspection of a named
+// segment kept with keep_name=true).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace rme::shm {
+
+inline constexpr uint64_t kSegmentMagic = 0x524d4553484d3031ull;  // "RMESHM01"
+inline constexpr uint32_t kSegmentVersion = 1;
+
+/// First bytes of every segment. All cross-process mutable fields are
+/// std::atomic so concurrent children and the parent agree on them.
+struct SegmentHeader {
+  uint64_t magic = kSegmentMagic;
+  uint32_t version = kSegmentVersion;
+  uint32_t reserved = 0;
+  uint64_t capacity = 0;          ///< total mapped bytes (header included)
+  std::atomic<uint64_t> bump{0};  ///< next free offset from segment base
+};
+
+/// A MAP_SHARED memory segment with a bump allocator. Created by the
+/// fork-harness parent before any fork; children inherit the mapping at
+/// the same address, so raw pointers into the segment are valid in every
+/// process of the tree.
+class Segment {
+ public:
+  /// Maps `bytes` of shared memory. With an empty `name` the mapping is
+  /// anonymous (visible only to forked children — the common case). With
+  /// a name, the segment is backed by shm_open("/name") and unlinked
+  /// immediately after mapping unless `keep_name` (so crashed runs never
+  /// leak /dev/shm entries).
+  explicit Segment(size_t bytes, const std::string& name = "",
+                   bool keep_name = false);
+  ~Segment();
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  void* base() const { return base_; }
+  size_t capacity() const { return capacity_; }
+  size_t bytes_used() const;
+  SegmentHeader* header() const {
+    return static_cast<SegmentHeader*>(base_);
+  }
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two). Aborts
+  /// with a clear message if the segment is exhausted — the harness
+  /// sizes segments generously and exhaustion is a configuration error,
+  /// not a runtime condition to recover from.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// True iff `p` points into this segment's arena.
+  bool Contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    const char* b = static_cast<const char*>(base_);
+    return c >= b && c < b + capacity_;
+  }
+
+  /// Constructs a T in the arena (without diverting operator new — for
+  /// control blocks whose members should live in the segment but whose
+  /// construction must not capture unrelated allocations).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Array variant of New (value-initialized elements).
+  template <typename T>
+  T* NewArray(size_t count) {
+    void* p = Allocate(sizeof(T) * count, alignof(T));
+    return ::new (p) T[count]();
+  }
+
+ private:
+  void* base_ = nullptr;
+  size_t capacity_ = 0;
+  std::string shm_name_;  ///< non-empty iff the name was kept
+};
+
+/// True iff `p` lies inside any live Segment of this process tree. Used
+/// by the replaced operator delete: arena pointers are not heap pointers.
+bool PointerInAnySegment(const void* p);
+
+/// RAII: while alive, global operator new on the *calling thread*
+/// allocates from `seg`'s bump arena. Non-reentrant (one active scope
+/// per thread). The fork harness wraps exactly the lock/controller
+/// construction in one of these.
+class PlacementScope {
+ public:
+  explicit PlacementScope(Segment* seg);
+  ~PlacementScope();
+
+  PlacementScope(const PlacementScope&) = delete;
+  PlacementScope& operator=(const PlacementScope&) = delete;
+};
+
+/// The segment the calling thread currently diverts operator new into
+/// (null outside any PlacementScope).
+Segment* ActivePlacementSegment();
+
+}  // namespace rme::shm

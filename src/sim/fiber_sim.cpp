@@ -125,7 +125,9 @@ bool DeterministicSim::Run(const Options& options,
     sched.current = pick;
     Fiber& f = sched.fibers[static_cast<size_t>(pick)];
     if (sched.trace_capacity > 0) {
-      DeterministicSim::TraceEvent ev{sched.steps, f.pid, f.saved.last_site};
+      DeterministicSim::TraceEvent ev{
+          sched.steps, f.pid,
+          f.saved.last_site.load(std::memory_order_relaxed)};
       if (sched.trace.size() < sched.trace_capacity) {
         sched.trace.push_back(ev);
       } else {

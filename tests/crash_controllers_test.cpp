@@ -1,0 +1,346 @@
+// Deterministic replay tests for every crash controller: pinpoint
+// semantics (which pid, which site, which op) checked directly against
+// the instrumentation, and same-(seed, config, controller) fiber-sim
+// runs compared field for field. Includes the sharded-clock regression
+// for BatchCrash: its trigger must follow the calling process's own
+// issued ticks, not the global reservation frontier, so behaviour is
+// identical at clock_block 1 and 1024.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+#include "sim/sim_harness.hpp"
+
+namespace rme {
+namespace {
+
+class ScopedClockBlock {
+ public:
+  explicit ScopedClockBlock(uint64_t b)
+      : prev_(memory_model_config().clock_block) {
+    memory_model_config().clock_block = b;
+  }
+  ~ScopedClockBlock() { memory_model_config().clock_block = prev_; }
+
+ private:
+  uint64_t prev_;
+};
+
+// ---------------------------------------------------------------------
+// Direct pinning: drive the instrumentation by hand and check the crash
+// lands on exactly the configured pid / site / op.
+// ---------------------------------------------------------------------
+
+TEST(Controllers, NeverCrashNeverFires) {
+  NeverCrash crash;
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  for (int i = 0; i < 1000; ++i) v.FetchAdd(1, "never.op");
+  EXPECT_EQ(crash.crashes(), 0u);
+}
+
+TEST(Controllers, SiteCrashPinsPidSiteAndNth) {
+  SiteCrash crash(3, "pin.site", /*after_op=*/true, /*nth=*/2);
+  ProcessBinding bind(3, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  v.FetchAdd(1, "other.site");  // wrong site: no fire
+  v.FetchAdd(1, "pin.site");    // first hit: nth=2 not reached
+  bool fired = false;
+  try {
+    v.FetchAdd(1, "pin.site");  // second hit: fires
+  } catch (const ProcessCrash& cr) {
+    fired = true;
+    EXPECT_EQ(cr.pid, 3);
+    EXPECT_STREQ(cr.site, "pin.site");
+    EXPECT_TRUE(cr.after_op);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(crash.crashes(), 1u);
+  v.FetchAdd(1, "pin.site");  // one-shot: spent
+  EXPECT_EQ(crash.crashes(), 1u);
+}
+
+TEST(Controllers, SiteCrashIgnoresOtherPids) {
+  SiteCrash crash(3, "pin.site", /*after_op=*/true);
+  ProcessBinding bind(1, &crash);  // different pid
+  rmr::Atomic<uint64_t> v{0};
+  for (int i = 0; i < 50; ++i) v.FetchAdd(1, "pin.site");
+  EXPECT_EQ(crash.crashes(), 0u);
+}
+
+TEST(Controllers, SpacedSiteCrashFiresEveryPeriodUpToBudget) {
+  // Suffix match, period 3, budget 2: matching ops 3 and 6 crash, no more.
+  SpacedSiteCrash crash("filter.tail.fas", /*period=*/3, /*budget=*/2);
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  std::vector<int> crash_ops;
+  for (int i = 1; i <= 12; ++i) {
+    try {
+      v.FetchAdd(1, "lvl2.filter.tail.fas");
+      v.FetchAdd(1, "unrelated.site");  // must not advance the match count
+    } catch (const ProcessCrash& cr) {
+      crash_ops.push_back(i);
+      EXPECT_STREQ(cr.site, "lvl2.filter.tail.fas");
+    }
+  }
+  ASSERT_EQ(crash_ops.size(), 2u);
+  EXPECT_EQ(crash_ops[0], 3);
+  EXPECT_EQ(crash_ops[1], 6);
+  EXPECT_EQ(crash.crashes(), 2u);
+}
+
+TEST(Controllers, NthOpCrashFiresAtExactlyTheNthOp) {
+  NthOpCrash crash(2, /*nth_op=*/5);
+  ProcessBinding bind(2, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  int survived = 0;
+  bool fired = false;
+  for (int i = 0; i < 10 && !fired; ++i) {
+    try {
+      v.FetchAdd(1, "nth.op");
+      ++survived;
+    } catch (const ProcessCrash& cr) {
+      fired = true;
+      EXPECT_EQ(cr.pid, 2);
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(survived, 4);  // ops 1..4 survive, op 5 crashes
+  for (int i = 0; i < 20; ++i) v.FetchAdd(1, "nth.op");  // one-shot
+  EXPECT_EQ(crash.crashes(), 1u);
+}
+
+TEST(Controllers, NthOpCrashCountsOnlyThePinnedPid) {
+  NthOpCrash crash(2, /*nth_op=*/5);
+  ProcessBinding bind(1, &crash);  // a different process runs the ops
+  rmr::Atomic<uint64_t> v{0};
+  for (int i = 0; i < 50; ++i) v.FetchAdd(1, "nth.op");
+  EXPECT_EQ(crash.crashes(), 0u);
+}
+
+TEST(Controllers, CompositeFiresLeavesAndCountsEachCrashOnce) {
+  SiteCrash a(0, "site.a", /*after_op=*/true);
+  SiteCrash b(0, "site.b", /*after_op=*/true);
+  CompositeCrash crash({&a, &b});
+  ProcessBinding bind(0, &crash);
+  rmr::Atomic<uint64_t> v{0};
+  int fired = 0;
+  for (const char* site : {"site.a", "site.b"}) {
+    try {
+      v.FetchAdd(1, site);
+    } catch (const ProcessCrash& cr) {
+      ++fired;
+      EXPECT_STREQ(cr.site, site);
+    }
+  }
+  EXPECT_EQ(fired, 2);
+  // Leaf-only counting: the composite reports the sum of its parts, not
+  // double (the historical bug: it also counted every leaf firing).
+  EXPECT_EQ(a.crashes(), 1u);
+  EXPECT_EQ(b.crashes(), 1u);
+  EXPECT_EQ(crash.crashes(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// BatchCrash sharded-clock regression. The trigger compares against the
+// calling process's own issued tick, which on a single thread advances
+// by exactly one per instrumented op regardless of clock_block. The
+// pre-fix code compared against LogicalNow() — the global reservation
+// frontier, which with clock_block = 1024 sits up to 1023 ticks ahead of
+// the caller — so a batch scheduled 500 ticks out fired on the very
+// first op. Ops-to-crash must not depend on the block size.
+// ---------------------------------------------------------------------
+
+struct BatchProbe {
+  uint64_t ops_survived;
+  uint64_t ticks_to_crash;  ///< crash timestamp minus the base tick
+};
+
+BatchProbe OpsUntilBatchCrash(uint64_t clock_block) {
+  ScopedClockBlock block(clock_block);
+  ProcessBinding bind(0, nullptr);
+  // Drop any leftover partial block, then issue one op so LogicalTick()
+  // is our own freshly issued tick.
+  CurrentProcess().clock_next = CurrentProcess().clock_end;
+  rmr::Atomic<uint64_t> v{0};
+  v.FetchAdd(1, "batch.warm");
+  const uint64_t base = LogicalTick();
+  BatchCrash crash({{base + 500, 1ULL << 0}});
+  CurrentProcess().crash = &crash;
+  BatchProbe probe{0, 0};
+  try {
+    for (;;) {
+      v.FetchAdd(1, "batch.op");
+      ++probe.ops_survived;
+    }
+  } catch (const ProcessCrash& cr) {
+    EXPECT_EQ(cr.pid, 0);
+    probe.ticks_to_crash = cr.time - base;
+  }
+  CurrentProcess().crash = nullptr;
+  EXPECT_EQ(crash.crashes(), 1u);
+  return probe;
+}
+
+TEST(Controllers, BatchCrashTriggerIsClockBlockInvariant) {
+  const BatchProbe seed_semantics = OpsUntilBatchCrash(1);
+  const BatchProbe sharded = OpsUntilBatchCrash(1024);
+  // Seed semantics at block 1: the batch fires at the first op whose own
+  // tick passes base + 500, i.e. 499 ops survive and the crash carries
+  // timestamp base + 500 exactly.
+  EXPECT_EQ(seed_semantics.ops_survived, 499u);
+  EXPECT_EQ(seed_semantics.ticks_to_crash, 500u);
+  // The sharded clock must not change when the batch fires.
+  EXPECT_EQ(sharded.ops_survived, seed_semantics.ops_survived);
+  EXPECT_EQ(sharded.ticks_to_crash, seed_semantics.ticks_to_crash);
+}
+
+TEST(Controllers, BatchCrashFiresEachBatchMemberOnce) {
+  ProcessBinding bind(1, nullptr);
+  CurrentProcess().clock_next = CurrentProcess().clock_end;
+  rmr::Atomic<uint64_t> v{0};
+  v.FetchAdd(1, "batch.warm");
+  const uint64_t base = LogicalTick();
+  BatchCrash crash({{base + 3, (1ULL << 1) | (1ULL << 2)}});
+  CurrentProcess().crash = &crash;
+  bool fired = false;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      v.FetchAdd(1, "batch.op");
+    } catch (const ProcessCrash&) {
+      EXPECT_FALSE(fired) << "a batch member crashed twice";
+      fired = true;
+    }
+  }
+  CurrentProcess().crash = nullptr;
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(crash.crashes(), 1u);  // pid 2 never ran, so only pid 1 fired
+}
+
+// ---------------------------------------------------------------------
+// Fiber-sim replay: the same (seed, config, controller) must reproduce
+// the run exactly — failures, unsafe classification, verdicts, and the
+// scheduler step count. One sweep per controller kind.
+// ---------------------------------------------------------------------
+
+struct ReplayFingerprint {
+  uint64_t completed = 0;
+  uint64_t failures = 0;
+  uint64_t unsafe_failures = 0;
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t scheduler_steps = 0;
+
+  bool operator==(const ReplayFingerprint&) const = default;
+};
+
+template <typename MakeController>
+ReplayFingerprint RunWrOnce(MakeController make) {
+  ScopedClockBlock block(1024);
+  auto lock = MakeLock("wr", 3);
+  SimWorkloadConfig cfg;
+  cfg.num_procs = 3;
+  cfg.passages_per_proc = 30;
+  cfg.seed = 42;
+  auto crash = make();
+  const SimResult r = RunSimWorkload(*lock, cfg, crash.get());
+  EXPECT_TRUE(r.ran_to_completion);
+  EXPECT_EQ(r.completed_passages, 90u);
+  EXPECT_EQ(crash->crashes(), r.failures)
+      << "controller tally disagrees with the harness failure count";
+  return {r.completed_passages, r.failures,     r.unsafe_failures,
+          r.me_violations,      r.bcsr_violations, r.scheduler_steps};
+}
+
+TEST(Controllers, NeverCrashReplaysDeterministically) {
+  auto make = [] { return std::make_unique<NeverCrash>(); };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failures, 0u);
+}
+
+TEST(Controllers, RandomCrashReplaysDeterministically) {
+  auto make = [] { return std::make_unique<RandomCrash>(7, 0.002, 6); };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.failures, 0u);
+  EXPECT_LE(a.failures, 6u);  // budget respected
+  EXPECT_EQ(a.me_violations, 0u);
+  EXPECT_EQ(a.bcsr_violations, 0u);
+}
+
+TEST(Controllers, SiteCrashReplaysDeterministically) {
+  // The WR lock's one sensitive instruction (Figure 1): the tail FAS.
+  auto make = [] {
+    return std::make_unique<SiteCrash>(1, "wr.tail.fas", /*after_op=*/true);
+  };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failures, 1u);
+  EXPECT_EQ(a.unsafe_failures, 1u);  // crash after the FAS is unsafe
+}
+
+TEST(Controllers, SpacedSiteCrashReplaysDeterministically) {
+  auto make = [] {
+    return std::make_unique<SpacedSiteCrash>("tail.fas", /*period=*/5,
+                                             /*budget=*/3);
+  };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failures, 3u);  // budget drains exactly
+}
+
+TEST(Controllers, NthOpCrashReplaysDeterministically) {
+  auto make = [] { return std::make_unique<NthOpCrash>(0, 40); };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failures, 1u);
+}
+
+TEST(Controllers, BatchCrashReplaysDeterministically) {
+  // Relative trigger: each run schedules the batch a fixed distance past
+  // the clock position at construction, so both runs see the same
+  // relative timing even though the global clock has advanced.
+  auto make = [] {
+    return std::make_unique<BatchCrash>(
+        std::vector<BatchCrash::Batch>{{LogicalNow() + 300, 0b111}});
+  };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.failures, 3u);  // every batch member fires exactly once
+  EXPECT_EQ(a.me_violations, 0u);
+  EXPECT_EQ(a.bcsr_violations, 0u);
+}
+
+TEST(Controllers, CompositeReplaysDeterministicallyAndSumsParts) {
+  // CompositeCrash is final; bundle it with its leaves by delegation so
+  // the factory returns one owning object.
+  struct Bundle final : CrashController {
+    RandomCrash random{13, 0.001, 4};
+    SiteCrash site{2, "wr.tail.fas", true};
+    CompositeCrash composite{{&random, &site}};
+    bool ShouldCrash(int pid, const char* s, bool after) override {
+      return composite.ShouldCrash(pid, s, after);
+    }
+    uint64_t crashes() const override { return composite.crashes(); }
+  };
+  auto make = [] { return std::make_unique<Bundle>(); };
+  const ReplayFingerprint a = RunWrOnce(make);
+  const ReplayFingerprint b = RunWrOnce(make);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.failures, 0u);
+}
+
+}  // namespace
+}  // namespace rme

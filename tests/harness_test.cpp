@@ -56,6 +56,29 @@ TEST(Harness, CrashesProduceAttemptsVictimsAndBuckets) {
   }
   EXPECT_GT(nonzero_bucket_passages, 0u);
   EXPECT_EQ(r.failure_records.size(), r.failures);
+  // Exactly one controller counts each crash (the firing leaf), so the
+  // controller's tally and the harness's must agree.
+  EXPECT_EQ(crash.crashes(), r.failures);
+}
+
+TEST(Harness, CompositeControllerCountsEachCrashOnce) {
+  auto lock = MakeLock("wr", 4);
+  WorkloadConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 100;
+  cfg.seed = 11;
+  // Two leaves under a composite; historically the composite *also*
+  // counted every leaf firing, doubling crashes() vs the harness failure
+  // count. The composite must report exactly the sum of its parts and
+  // match the harness.
+  RandomCrash random_leaf(9, 0.003, -1);
+  SiteCrash site_leaf(2, "wr.tail.fas", /*after_op=*/true);
+  CompositeCrash crash({&random_leaf, &site_leaf});
+  const RunResult r = RunWorkload(*lock, cfg, &crash);
+  EXPECT_FALSE(r.aborted);
+  EXPECT_GT(r.failures, 0u);
+  EXPECT_EQ(crash.crashes(), r.failures);
+  EXPECT_EQ(crash.crashes(), random_leaf.crashes() + site_leaf.crashes());
 }
 
 TEST(Harness, LevelReportingComesFromBaLock) {

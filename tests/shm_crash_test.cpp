@@ -1,0 +1,180 @@
+// Real-process crash mode: shared-segment placement and the fork-based
+// SIGKILL harness. These tests genuinely fork and kill processes, so the
+// binary must stay single-threaded in the parent (gtest runs tests
+// sequentially on the main thread; nothing here spawns threads).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "locks/lock.hpp"
+#include "rmr/memory_model.hpp"
+#include "runtime/fork_harness.hpp"
+#include "shm/shm_layout.hpp"
+#include "shm/shm_segment.hpp"
+
+namespace rme {
+namespace {
+
+TEST(ShmSegment, HeaderAndAlignedBumpAllocation) {
+  shm::Segment seg(1u << 20);
+  ASSERT_NE(seg.base(), nullptr);
+  EXPECT_EQ(seg.header()->magic, shm::kSegmentMagic);
+  EXPECT_EQ(seg.header()->version, shm::kSegmentVersion);
+  EXPECT_EQ(seg.header()->capacity, seg.capacity());
+
+  void* a = seg.Allocate(10, 8);
+  void* b = seg.Allocate(100, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 64, 0u);
+  EXPECT_TRUE(seg.Contains(a));
+  EXPECT_TRUE(seg.Contains(b));
+  EXPECT_GT(seg.bytes_used(), sizeof(shm::SegmentHeader));
+
+  int local = 0;
+  EXPECT_FALSE(seg.Contains(&local));
+  EXPECT_TRUE(shm::PointerInAnySegment(a));
+  EXPECT_FALSE(shm::PointerInAnySegment(&local));
+}
+
+TEST(ShmSegment, NamedSegmentMapsAndUnlinks) {
+  shm::Segment seg(1u << 16, "rme_shm_crash_test_seg");
+  EXPECT_EQ(seg.header()->magic, shm::kSegmentMagic);
+  auto* v = seg.New<uint64_t>(42u);
+  EXPECT_EQ(*v, 42u);
+  EXPECT_TRUE(seg.Contains(v));
+}
+
+TEST(ShmSegment, PlacementScopeDivertsOperatorNew) {
+  shm::Segment seg(1u << 20);
+  EXPECT_EQ(shm::ActivePlacementSegment(), nullptr);
+
+  std::vector<uint64_t>* vec = nullptr;
+  uint64_t* aligned_obj = nullptr;
+  {
+    shm::PlacementScope scope(&seg);
+    EXPECT_EQ(shm::ActivePlacementSegment(), &seg);
+    vec = new std::vector<uint64_t>(128, 7u);  // object AND its buffer
+    aligned_obj = new uint64_t(9u);
+  }
+  EXPECT_EQ(shm::ActivePlacementSegment(), nullptr);
+  ASSERT_NE(vec, nullptr);
+  EXPECT_TRUE(seg.Contains(vec));
+  EXPECT_TRUE(seg.Contains(vec->data()));
+  EXPECT_EQ(vec->at(127), 7u);
+  EXPECT_TRUE(seg.Contains(aligned_obj));
+  // delete on arena pointers runs destructors but leaves the memory to
+  // the segment; outside the scope, allocation is back on the heap.
+  delete vec;
+  delete aligned_obj;
+  auto* heap_obj = new uint64_t(1u);
+  EXPECT_FALSE(seg.Contains(heap_obj));
+  delete heap_obj;
+}
+
+TEST(ShmSegment, EveryRecoverableLockIsCapturedByConstruction) {
+  // SupportsSharedPlacement's contract: construction inside a scope puts
+  // the lock object (and, by the constructors' allocation discipline, its
+  // whole ownership tree) into the segment. rmr::Atomic is alignas(64),
+  // so this also exercises aligned operator new diversion.
+  for (const std::string& name : RecoverableLockNames()) {
+    shm::Segment seg(64u << 20);
+    std::unique_ptr<RecoverableLock> lock;
+    {
+      shm::PlacementScope scope(&seg);
+      lock = MakeLock(name, 4);
+    }
+    EXPECT_TRUE(lock->SupportsSharedPlacement()) << name;
+    EXPECT_TRUE(seg.Contains(lock.get())) << name;
+    // Destruction must tolerate arena pointers (delete no-ops on them).
+    lock.reset();
+  }
+  auto mcs = MakeLock("mcs", 4);
+  EXPECT_FALSE(mcs->SupportsSharedPlacement());
+}
+
+TEST(ForkHarness, FailureFreeRunCompletes) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 200;
+  cfg.seed = 3;
+  const ForkCrashResult r = RunForkCrashWorkload("wr", cfg);
+  EXPECT_EQ(r.completed_passages, 800u);
+  EXPECT_EQ(r.total_attempts, 800u);
+  EXPECT_EQ(r.kills, 0u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.cs_overlap_events, 0u);
+  EXPECT_EQ(r.child_errors, 0u);
+  EXPECT_FALSE(r.watchdog_fired);
+  EXPECT_FALSE(r.log_overflow);
+  // 4 events per passage plus 4 kDone markers.
+  EXPECT_EQ(r.log_events, 4u * 800u + 4u);
+  EXPECT_GT(r.segment_bytes_used, sizeof(shm::SegmentHeader));
+}
+
+TEST(ForkHarness, ChildSideSiteKillsAreAttributedAndSurvived) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 300;
+  cfg.seed = 17;
+  cfg.self_kill_per_op = 0.003;
+  cfg.self_kill_budget = 25;
+  const ForkCrashResult r = RunForkCrashWorkload("wr", cfg);
+  EXPECT_EQ(r.completed_passages, 1200u);
+  EXPECT_GT(r.kills, 0u);
+  EXPECT_EQ(r.child_kills, r.kills);  // no parent-side kills configured
+  EXPECT_LE(r.child_kills, 25u);      // budget respected across respawns
+  EXPECT_GE(r.total_attempts, r.completed_passages);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.child_errors, 0u);
+  EXPECT_FALSE(r.watchdog_fired);
+}
+
+/// Escalates passages until the SIGKILL budgets drain before the
+/// workload completes (fast machines finish small workloads before the
+/// parent's wall-clock kill cadence lands all of them).
+ForkCrashResult RunWithKillFloor(const std::string& lock_name,
+                                 uint64_t min_kills) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.seed = 29;
+  cfg.independent_kills = 80;
+  cfg.batch_kill_events = 15;  // batch_size 0: whole-system batches of 4
+  cfg.kill_interval_ms = 0.25;
+  cfg.self_kill_per_op = 0.0005;
+  cfg.self_kill_budget = 20;
+  ForkCrashResult r;
+  for (uint64_t passages = 1000; passages <= 27000; passages *= 3) {
+    cfg.passages_per_proc = passages;
+    r = RunForkCrashWorkload(lock_name, cfg);
+    EXPECT_EQ(r.completed_passages,
+              static_cast<uint64_t>(cfg.num_procs) * passages)
+        << lock_name;
+    if (r.kills >= min_kills) break;
+  }
+  return r;
+}
+
+TEST(ForkHarness, EveryRegistryLockSurvivesIndependentAndBatchKills) {
+  for (const std::string& name : RecoverableLockNames()) {
+    SCOPED_TRACE(name);
+    const ForkCrashResult r = RunWithKillFloor(name, 100);
+    EXPECT_GE(r.kills, 100u);
+    EXPECT_GT(r.batch_events, 0u);
+    EXPECT_GT(r.parent_kills, 0u);
+    EXPECT_EQ(r.me_violations, 0u);
+    EXPECT_EQ(r.bcsr_violations, 0u);
+    EXPECT_EQ(r.child_errors, 0u);
+    EXPECT_FALSE(r.watchdog_fired);
+    EXPECT_FALSE(r.log_overflow);
+    EXPECT_GE(r.total_attempts, r.completed_passages);
+  }
+}
+
+}  // namespace
+}  // namespace rme

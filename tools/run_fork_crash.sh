@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the real-process SIGKILL crash sweep (bench_fork_crash) from an
+# existing build tree, with a bounded wall clock so a wedged harness can
+# never hang CI. Exit status is the bench's own (nonzero on any ME/BCSR
+# violation, child error, watchdog fire, or log overflow) or 124 on
+# timeout.
+#
+# Usage: tools/run_fork_crash.sh [build-dir] [extra bench flags...]
+#   RME_FORK_CRASH_TIMEOUT=300  wall-clock cap in seconds (default 300)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BIN="$BUILD_DIR/bench/bench_fork_crash"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_fork_crash)" >&2
+  exit 2
+fi
+
+TIMEOUT_S="${RME_FORK_CRASH_TIMEOUT:-300}"
+exec timeout --signal=KILL "$TIMEOUT_S" "$BIN" "$@"
