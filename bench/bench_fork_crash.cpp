@@ -3,12 +3,18 @@
 // site-precise kills plus parent-side independent and whole-batch kills
 // (§7.1's batch-failure regime) — and the post-hoc log verdicts are
 // tabulated. This validates crash-recovery *correctness* under real
-// process death; RMR accounting stays with the in-process benches
-// (per-passage counters die with the killed child).
+// process death, and — with the segment-resident counter mirror — also
+// measures RMRs under real kills: --report=rmr prints per-lock passage
+// cost conditioned on F, the kills overlapping the passage (the Fig. 3
+// x-axis), in both the CC and DSM models.
 //
 // Flags: --n=8 --passages=2000 --seed=42 --independent=100 --batches=20
 //        --batch_size=0 (0 = all n) --self_prob=0.0005 --self_budget=50
 //        --interval_ms=0.5 --locks=wr,tree,... (default: all recoverable)
+//        --report=rmr (adds the RMR-vs-F table and the zero-RMR gate)
+//        --json_out=PATH (writes the RMR report as JSON)
+#include <cinttypes>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -33,6 +39,71 @@ std::vector<std::string> SplitNames(const std::string& csv) {
   return out;
 }
 
+/// Growth class of mean CC RMR against F across the overlap buckets
+/// (x = F + 1 so the F = 0 bucket anchors the curve).
+std::string GrowthClass(const std::map<int, ForkRmrBin>& bins) {
+  std::vector<double> x, y;
+  for (const auto& [f, bin] : bins) {
+    if (bin.passages == 0) continue;
+    x.push_back(static_cast<double>(f) + 1.0);
+    y.push_back(static_cast<double>(bin.cc_sum) /
+                static_cast<double>(bin.passages));
+  }
+  if (x.size() < 2) return "n/a";
+  return ClassifyGrowth(x, y);
+}
+
+void WriteRmrJson(const std::string& path, const ForkCrashConfig& cfg,
+                  const std::vector<std::pair<std::string, ForkCrashResult>>&
+                      results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ERROR: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fork_rmr\",\n");
+  std::fprintf(f, "  \"n\": %d,\n  \"passages_per_proc\": %" PRIu64 ",\n",
+               cfg.num_procs, cfg.passages_per_proc);
+  std::fprintf(f, "  \"independent_kills\": %" PRIu64
+                  ",\n  \"batch_kill_events\": %" PRIu64 ",\n",
+               cfg.independent_kills, cfg.batch_kill_events);
+  std::fprintf(f, "  \"locks\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& [name, r] = results[i];
+    std::fprintf(f, "    \"%s\": {\n", name.c_str());
+    std::fprintf(f, "      \"kills\": %" PRIu64 ",\n", r.kills);
+    std::fprintf(f, "      \"counter_regressions\": %" PRIu64 ",\n",
+                 r.counter_regressions);
+    std::fprintf(f, "      \"phantom_crash_notes\": %" PRIu64 ",\n",
+                 r.phantom_crash_notes);
+    std::fprintf(f, "      \"max_kill_ops_gap\": %" PRIu64 ",\n",
+                 r.max_kill_ops_gap);
+    std::fprintf(f, "      \"growth_cc\": \"%s\",\n",
+                 GrowthClass(r.rmr_by_overlap).c_str());
+    std::fprintf(f, "      \"by_overlap\": [");
+    bool first = true;
+    for (const auto& [fb, bin] : r.rmr_by_overlap) {
+      if (bin.passages == 0) continue;
+      const double p = static_cast<double>(bin.passages);
+      std::fprintf(f,
+                   "%s\n        {\"f\": %d, \"passages\": %" PRIu64
+                   ", \"mean_ops\": %.2f, \"mean_cc\": %.2f, \"max_cc\": "
+                   "%" PRIu64 ", \"mean_dsm\": %.2f, \"max_dsm\": %" PRIu64
+                   "}",
+                   first ? "" : ",", fb, bin.passages,
+                   static_cast<double>(bin.ops_sum) / p,
+                   static_cast<double>(bin.cc_sum) / p, bin.cc_max,
+                   static_cast<double>(bin.dsm_sum) / p, bin.dsm_max);
+      first = false;
+    }
+    std::fprintf(f, "\n      ]\n    }%s\n",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[json] wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int BenchMain(int argc, char** argv) {
@@ -47,6 +118,8 @@ int BenchMain(int argc, char** argv) {
   cfg.self_kill_per_op = cli.GetDouble("self_prob", 0.0005);
   cfg.self_kill_budget = cli.GetInt("self_budget", 50);
   cfg.kill_interval_ms = cli.GetDouble("interval_ms", 0.5);
+  const bool report_rmr = cli.GetString("report", "") == "rmr";
+  const std::string json_out = cli.GetString("json_out", "");
 
   std::vector<std::string> locks = RecoverableLockNames();
   if (cli.Has("locks")) locks = SplitNames(cli.GetString("locks", ""));
@@ -60,11 +133,12 @@ int BenchMain(int argc, char** argv) {
   Table table({"lock", "passages", "kills", "child", "parent", "batches",
                "ME", "BCSR", "adm ovl", "max cc", "wall s", "seg KB"});
 
+  std::vector<std::pair<std::string, ForkCrashResult>> results;
   bool all_clean = true;
   for (const std::string& name : locks) {
     std::fprintf(stderr, "[run] %-14s n=%-3d sigkill sweep\n", name.c_str(),
                  cfg.num_procs);
-    const ForkCrashResult r = RunForkCrashWorkload(name, cfg);
+    ForkCrashResult r = RunForkCrashWorkload(name, cfg);
     table.AddRow({name, Table::Int(r.completed_passages),
                   Table::Int(r.kills), Table::Int(r.child_kills),
                   Table::Int(r.parent_kills), Table::Int(r.batch_events),
@@ -85,12 +159,69 @@ int BenchMain(int argc, char** argv) {
                    static_cast<unsigned long long>(r.child_errors),
                    r.watchdog_fired ? 1 : 0, r.log_overflow ? 1 : 0);
     }
+    if (r.counter_regressions != 0 || r.phantom_crash_notes != 0) {
+      all_clean = false;
+      std::fprintf(stderr,
+                   "ERROR: %s: counter_regressions=%llu "
+                   "phantom_crash_notes=%llu\n",
+                   name.c_str(),
+                   static_cast<unsigned long long>(r.counter_regressions),
+                   static_cast<unsigned long long>(r.phantom_crash_notes));
+    }
+    results.emplace_back(name, std::move(r));
   }
 
   std::printf("%s\n", table.ToText().c_str());
   std::printf("Expected: zero ME/BCSR for every lock; weak locks may show\n"
               "admissible overlaps (inside failure consequence intervals)\n"
               "but strong ones must not overlap at all.\n");
+
+  if (report_rmr) {
+    // Per-passage RMR conditioned on F = kills overlapping the passage,
+    // computed from event-log counter snapshots that survived every
+    // SIGKILL in the segment-resident per-pid slots.
+    Table rmr({"lock", "F", "passages", "mean ops", "mean cc", "max cc",
+               "mean dsm", "max dsm", "growth(cc)"});
+    for (const auto& [name, r] : results) {
+      const std::string growth = GrowthClass(r.rmr_by_overlap);
+      bool first = true;
+      for (const auto& [fb, bin] : r.rmr_by_overlap) {
+        if (bin.passages == 0) continue;
+        const double p = static_cast<double>(bin.passages);
+        rmr.AddRow({first ? name : "", Table::Int(static_cast<uint64_t>(fb)),
+                    Table::Int(bin.passages),
+                    Table::Num(static_cast<double>(bin.ops_sum) / p),
+                    Table::Num(static_cast<double>(bin.cc_sum) / p),
+                    Table::Int(bin.cc_max),
+                    Table::Num(static_cast<double>(bin.dsm_sum) / p),
+                    Table::Int(bin.dsm_max), first ? growth : ""});
+        first = false;
+      }
+      // Zero-RMR gate: with mirroring on, every pid that completed work
+      // must have flushed nonzero RMR counts into its segment slot — a
+      // zero means the kill-survivable accounting silently broke.
+      for (size_t pid = 0; pid < r.pid_counters.size(); ++pid) {
+        const OpCounters& c = r.pid_counters[pid];
+        if (c.ops == 0 || c.cc_rmrs == 0) {
+          all_clean = false;
+          std::fprintf(stderr,
+                       "ERROR: %s: pid %zu reports zero RMRs "
+                       "(ops=%llu cc=%llu) — mirror accounting broken\n",
+                       name.c_str(), pid,
+                       static_cast<unsigned long long>(c.ops),
+                       static_cast<unsigned long long>(c.cc_rmrs));
+        }
+      }
+    }
+    std::printf("\nPer-passage RMR vs F (kills overlapping the passage):\n");
+    std::printf("%s\n", rmr.ToText().c_str());
+    std::printf("Expected: adaptive locks stay O(1) at F=0 and grow with F,\n"
+                "capped by their base lock; costs include the CS body's\n"
+                "fixed cs_shared_ops instrumented ops per passage.\n");
+  }
+
+  if (!json_out.empty()) WriteRmrJson(json_out, cfg, results);
+
   return all_clean ? 0 : 1;
 }
 

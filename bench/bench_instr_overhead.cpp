@@ -31,6 +31,10 @@ struct alignas(kCacheLineBytes) PaddedNative {
 };
 PaddedNative g_native[kMaxProcs];
 rmr::Atomic<uint64_t> g_instr[kMaxProcs];
+/// Per-thread mirror slots for the `mirrored` series (each alignas(64),
+/// so the flush hits only the owner's own line — the fork-harness
+/// layout's discipline, reproduced here to price it).
+SharedOpCounters g_mirror[kMaxProcs];
 
 void BM_NativeFetchAdd(benchmark::State& state) {
   std::atomic<uint64_t>& v = g_native[state.thread_index()].v;
@@ -58,6 +62,20 @@ void InstrFetchAddBody(benchmark::State& state) {
 }
 
 void BM_InstrFetchAdd(benchmark::State& state) { InstrFetchAddBody(state); }
+
+/// Kill-survivable accounting: every op additionally flushes the
+/// caller's counters to its segment-slot mirror (three relaxed stores,
+/// all on the owner's own cache line). This is what the fork harness
+/// pays; the plain series is what in-process runs pay.
+void BM_InstrFetchAddMirrored(benchmark::State& state) {
+  ProcessBinding bind(state.thread_index(), nullptr,
+                      &g_mirror[state.thread_index()]);
+  rmr::Atomic<uint64_t>& v = g_instr[state.thread_index()];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.FetchAdd(1, "bench.faa"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
 
 /// Seed-equivalent clock granularity: every op pays the global fetch_add.
 void BM_InstrFetchAddBlock1(benchmark::State& state) {
@@ -101,6 +119,7 @@ int main(int argc, char** argv) {
       {"native_fetch_add", rme::BM_NativeFetchAdd, 0},
       {"native_load", rme::BM_NativeLoad, 0},
       {"instr_fetch_add", rme::BM_InstrFetchAdd, 0},
+      {"instr_fetch_add_mirrored", rme::BM_InstrFetchAddMirrored, 0},
       {"instr_fetch_add_block1", rme::BM_InstrFetchAddBlock1, 1},
       {"instr_load_hit", rme::BM_InstrLoadHit, 0},
   };

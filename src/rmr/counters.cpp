@@ -55,13 +55,18 @@ uint64_t AdvanceLogicalClock() {
 
 ProcessContext& CurrentProcess() { return tls_context; }
 
-ProcessBinding::ProcessBinding(int pid, CrashController* crash) {
+ProcessBinding::ProcessBinding(int pid, CrashController* crash,
+                               SharedOpCounters* mirror) {
   RME_CHECK_MSG(tls_context.pid == kMemoryNode,
                 "thread is already bound to a process");
   RME_CHECK(pid >= 0 && pid < kMaxProcs);
   tls_context.pid = pid;
   tls_context.crash = crash;
-  tls_context.counters = OpCounters{};
+  // With a mirror slot, resume from the slot's surviving value (a fresh
+  // slot reads as zero) so the counts stay cumulative across the respawns
+  // of a SIGKILLed process; without one, start from zero as always.
+  tls_context.counters = mirror != nullptr ? mirror->Snapshot() : OpCounters{};
+  tls_context.mirror = mirror;
   tls_context.in_cs = false;
   g_bound[pid].ptr.store(&tls_context, std::memory_order_release);
 }
@@ -117,6 +122,20 @@ void SpinPause(uint64_t iteration) {
 
 namespace rmr_detail {
 
+namespace {
+
+/// Flushes the private counters into the segment-resident slot. Relaxed
+/// stores on the owner's own cache line: a SIGKILL between the counter
+/// bump and this flush loses exactly the one in-flight op, never more.
+inline void FlushMirror(ProcessContext& ctx) {
+  SharedOpCounters* m = ctx.mirror;
+  m->ops.store(ctx.counters.ops, std::memory_order_relaxed);
+  m->cc_rmrs.store(ctx.counters.cc_rmrs, std::memory_order_relaxed);
+  m->dsm_rmrs.store(ctx.counters.dsm_rmrs, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 void CountRead(int home, std::atomic<uint64_t>& cc_mask) {
   ProcessContext& ctx = tls_context;
   AdvanceLogicalClock();
@@ -130,6 +149,7 @@ void CountRead(int home, std::atomic<uint64_t>& cc_mask) {
   }
   // DSM: remote iff the variable is homed elsewhere.
   if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
+  if (ctx.mirror != nullptr) FlushMirror(ctx);
 }
 
 void CountWrite(int home, std::atomic<uint64_t>& cc_mask) {
@@ -143,6 +163,7 @@ void CountWrite(int home, std::atomic<uint64_t>& cc_mask) {
   const uint64_t keep = memory_model_config().cc_strict ? 0 : bit;
   cc_mask.store(keep, std::memory_order_relaxed);
   if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
+  if (ctx.mirror != nullptr) FlushMirror(ctx);
 }
 
 }  // namespace rmr_detail

@@ -33,6 +33,12 @@ struct alignas(kCacheLineBytes) ProcessContext {
   uint64_t clock_next = 0;
   uint64_t clock_end = 0;
   OpCounters counters;            ///< cumulative counts for this thread
+  /// Optional segment-resident mirror slot (fork harness): when non-null,
+  /// every instrumented op ends with relaxed stores of `counters` into it,
+  /// so the counts survive a SIGKILL of this process losing at most the
+  /// one in-flight op. The slot is this process's own cache line — the
+  /// stores never contend with other processes' accounting.
+  SharedOpCounters* mirror = nullptr;
   /// True while the process executes its critical section; consulted by
   /// crash bookkeeping (a crash in CS leaves a reentry obligation).
   bool in_cs = false;
@@ -59,6 +65,7 @@ struct alignas(kCacheLineBytes) ProcessContext {
     clock_next = o.clock_next;
     clock_end = o.clock_end;
     counters = o.counters;
+    mirror = o.mirror;
     in_cs = o.in_cs;
     last_site.store(o.last_site.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
@@ -77,10 +84,15 @@ ProcessContext* BoundContext(int pid);
 ProcessContext& CurrentProcess();
 
 /// Binds/unbinds the calling thread to a process id. The harness uses
-/// RAII (ProcessBinding) around each worker's lifetime.
+/// RAII (ProcessBinding) around each worker's lifetime. A non-null
+/// `mirror` makes every instrumented op flush the counters into that
+/// (segment-resident) slot, and seeds the local counters from the slot's
+/// current value so counts stay cumulative and monotone across the
+/// respawns of a killed process.
 class ProcessBinding {
  public:
-  ProcessBinding(int pid, CrashController* crash);
+  ProcessBinding(int pid, CrashController* crash,
+                 SharedOpCounters* mirror = nullptr);
   ~ProcessBinding();
 
   ProcessBinding(const ProcessBinding&) = delete;

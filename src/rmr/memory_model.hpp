@@ -61,6 +61,24 @@ struct OpCounters {
   }
 };
 
+/// Kill-survivable mirror of one process's OpCounters. Lives in shared
+/// memory (the fork harness embeds one per pid in ShmControl) so the
+/// counts outlive a SIGKILLed owner. Cache-line aligned and written only
+/// by the owning process (relaxed stores on its own line); readers — the
+/// fork-harness parent, post-mortem scans — see a value at most one
+/// in-flight operation behind the owner's private counters.
+struct alignas(kCacheLineBytes) SharedOpCounters {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> cc_rmrs{0};
+  std::atomic<uint64_t> dsm_rmrs{0};
+
+  OpCounters Snapshot() const {
+    return {ops.load(std::memory_order_relaxed),
+            cc_rmrs.load(std::memory_order_relaxed),
+            dsm_rmrs.load(std::memory_order_relaxed)};
+  }
+};
+
 /// Global knobs for the memory model (set once before an experiment).
 struct MemoryModelConfig {
   /// If true, a writer does NOT retain a valid cached copy after writing

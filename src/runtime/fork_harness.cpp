@@ -20,6 +20,7 @@
 #include "shm/shm_segment.hpp"
 #include "util/assert.hpp"
 #include "util/prng.hpp"
+#include "util/stats.hpp"
 
 namespace rme {
 
@@ -42,19 +43,45 @@ using shm::ShmEvent;
                             CrashController* crash, int pid,
                             const ForkCrashConfig& cfg) {
   // The child inherits the parent thread's context image; start clean
-  // (fresh clock block, no counters) before binding.
+  // (fresh clock block, no counters) before binding. Binding against the
+  // pid's segment slot seeds the counters from whatever the previous
+  // incarnation last flushed, so counts stay cumulative across respawns
+  // and the per-pid snapshots in the log stay monotone.
   CurrentProcess() = ProcessContext{};
-  ProcessBinding bind(pid, crash);
+  ProcessBinding bind(pid, crash,
+                      cfg.mirror_counters ? &ctl->pid_counters[pid] : nullptr);
+  ProcessContext& ctx = CurrentProcess();
+  const OpCounters* cnt = cfg.mirror_counters ? &ctx.counters : nullptr;
   PerPidControl& me = ctl->per_pid[pid];
   Prng rng(cfg.seed, static_cast<uint64_t>(pid) + 7777);
 
-  // A set in_cs flag means our previous incarnation died inside the
-  // logged CS region: tell the post-hoc checker (it releases the corpse's
-  // holder bit and, for strong locks, records the reentry obligation).
-  if (me.in_cs.load(std::memory_order_relaxed) != 0) {
-    AppendEvent(ctl, EventKind::kCrashNoted, pid,
-                me.done.load(std::memory_order_relaxed));
-    me.in_cs.store(0, std::memory_order_relaxed);
+  // A nonzero cs_ticket means our previous incarnation died somewhere in
+  // the bracket protocol. The reserved slot's kind word decides exactly
+  // where: in the enter phase, a committed slot means it died after the
+  // kEnter reached the log; in the exit phase, an *uncommitted* slot
+  // means the kExit never made it, so the log still shows a holder.
+  // Either way we emit kCrashNoted iff the log holds an unmatched kEnter
+  // — the old in_cs flag's two-instruction lie windows are gone.
+  const uint64_t ticket = me.cs_ticket.load(std::memory_order_acquire);
+  if (ticket != 0) {
+    const uint64_t slot = shm::CsTicketSlot(ticket);
+    const bool committed =
+        slot < ctl->log_cap &&
+        ctl->log[slot].kind.load(std::memory_order_acquire) !=
+            static_cast<uint32_t>(EventKind::kInvalid);
+    const bool died_in_logged_cs =
+        shm::CsTicketPhase(ticket) == shm::kCsEnterPhase ? committed
+                                                         : !committed;
+    if (died_in_logged_cs) {
+      AppendEvent(ctl, EventKind::kCrashNoted, pid,
+                  me.done.load(std::memory_order_relaxed), cnt);
+      // Release the live ownership word if the corpse still holds it, so
+      // the online tripwire doesn't charge the next entrant for our death.
+      uint32_t corpse = static_cast<uint32_t>(pid) + 1;
+      ctl->owner.compare_exchange_strong(corpse, 0,
+                                         std::memory_order_acq_rel);
+    }
+    me.cs_ticket.store(0, std::memory_order_release);
   }
 
   while (me.done.load(std::memory_order_relaxed) < cfg.passages_per_proc) {
@@ -63,18 +90,24 @@ using shm::ShmEvent;
     // (req_open survives the respawn).
     if (me.req_open.load(std::memory_order_relaxed) == 0) {
       me.req_open.store(1, std::memory_order_relaxed);
-      AppendEvent(ctl, EventKind::kReqStart, pid, passage);
+      AppendEvent(ctl, EventKind::kReqStart, pid, passage, cnt);
     }
     me.attempts.fetch_add(1, std::memory_order_relaxed);
 
     lock->Recover(pid);
     lock->Enter(pid);
 
-    // in_cs brackets the logged CS region from outside, so a kill
-    // anywhere between the ENTER and EXIT events is always noticed by
-    // the next incarnation.
-    me.in_cs.store(1, std::memory_order_relaxed);
-    AppendEvent(ctl, EventKind::kEnter, pid, passage);
+    // Logged-CS bracket, enter phase: reserve the slot, publish the
+    // ticket, then commit. A kill anywhere in between leaves the slot
+    // kInvalid, which the respawn reads as "never entered the logged CS"
+    // — exactly what ScanLog reconstructs from the same slot. The probe
+    // lets regression tests land a SIGKILL inside this window.
+    const uint64_t enter_slot = shm::ReserveEvent(ctl);
+    me.cs_ticket.store(shm::EncodeCsTicket(enter_slot, shm::kCsEnterPhase),
+                       std::memory_order_release);
+    if (crash != nullptr) (void)crash->ShouldCrash(pid, "h.enter.brk", true);
+    shm::CommitEvent(ctl, enter_slot, EventKind::kEnter, pid, passage, cnt);
+
     const uint32_t prev = ctl->owner.exchange(static_cast<uint32_t>(pid) + 1,
                                               std::memory_order_acq_rel);
     if (prev != 0 && prev != static_cast<uint32_t>(pid) + 1) {
@@ -83,12 +116,21 @@ using shm::ShmEvent;
     for (int j = 0; j < cfg.cs_shared_ops; ++j) {
       cs_scratch->FetchAdd(1, "cs.op");
     }
+
+    // Exit phase: reserving the exit slot before releasing the live
+    // owner word orders our kExit ahead of any later entrant's kEnter in
+    // ticket order; flipping the ticket first means a kill before the
+    // commit is still classified as dying inside the logged CS.
+    const uint64_t exit_slot = shm::ReserveEvent(ctl);
+    me.cs_ticket.store(shm::EncodeCsTicket(exit_slot, shm::kCsExitPhase),
+                       std::memory_order_release);
+    if (crash != nullptr) (void)crash->ShouldCrash(pid, "h.exit.brk", true);
     ctl->owner.store(0, std::memory_order_release);
-    AppendEvent(ctl, EventKind::kExit, pid, passage);
-    me.in_cs.store(0, std::memory_order_relaxed);
+    shm::CommitEvent(ctl, exit_slot, EventKind::kExit, pid, passage, cnt);
+    me.cs_ticket.store(0, std::memory_order_release);
 
     lock->Exit(pid);
-    AppendEvent(ctl, EventKind::kReqDone, pid, passage);
+    AppendEvent(ctl, EventKind::kReqDone, pid, passage, cnt);
     me.req_open.store(0, std::memory_order_relaxed);
     me.done.fetch_add(1, std::memory_order_relaxed);
 
@@ -99,7 +141,7 @@ using shm::ShmEvent;
   CurrentProcess().crash = nullptr;
   lock->OnProcessDone(pid);
   AppendEvent(ctl, EventKind::kDone, pid,
-              me.done.load(std::memory_order_relaxed));
+              me.done.load(std::memory_order_relaxed), cnt);
   me.finished.store(1, std::memory_order_release);
   std::_Exit(0);
 }
@@ -123,13 +165,31 @@ struct LogVerdicts {
   uint64_t admissible_overlaps = 0;
   uint64_t responsiveness_deficits = 0;
   int max_concurrent = 0;
+  // Counter accounting (populated when with_counters).
+  std::map<int, ForkRmrBin> rmr_by_overlap;
+  uint64_t phantom_crash_notes = 0;
+  uint64_t counter_regressions = 0;
 };
 
-LogVerdicts ScanLog(const ShmControl* ctl, bool strong) {
+LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
   LogVerdicts v;
   uint64_t holders = 0;   // pids currently inside the logged CS region
   uint64_t obliged = 0;   // crashed in CS, owed reentry (strong locks)
   bool req_open[kMaxProcs] = {};
+
+  // Per-pid counter state for pricing super-passages. `started` guards
+  // against the (tiny) window where a kReqStart reservation was killed
+  // before committing: the super-passage then has no priced baseline and
+  // is left out of the bins rather than priced against a stale one.
+  struct PidPricing {
+    OpCounters last;      // monotonicity check, across all of pid's events
+    OpCounters at_start;  // snapshot at the super-passage's kReqStart
+    uint64_t kills_at_start = 0;
+    uint64_t active_at_start = 0;
+    bool started = false;
+  };
+  PidPricing pricing[kMaxProcs] = {};
+  uint64_t kills_so_far = 0;
 
   // Consequence intervals (paper Def 3.1, reconstructed): a kill's
   // interval stays active until every process that had a request open at
@@ -151,9 +211,32 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong) {
     const int pid = static_cast<int>(e.pid);
     const uint64_t bit = 1ULL << pid;
 
+    // Child-written events snapshot the writer's cumulative counters;
+    // they must be monotone per pid in ticket order (the mirror seed at
+    // respawn makes them cumulative across incarnations). kKill is
+    // parent-written with zero counters, so it is exempt.
+    PidPricing& pp = pricing[pid];
+    const OpCounters now{e.ops, e.cc_rmrs, e.dsm_rmrs};
+    if (with_counters && kind != EventKind::kKill) {
+      if (now.ops < pp.last.ops || now.cc_rmrs < pp.last.cc_rmrs ||
+          now.dsm_rmrs < pp.last.dsm_rmrs) {
+        ++v.counter_regressions;
+      }
+      pp.last = now;
+    }
+
     switch (kind) {
       case EventKind::kReqStart:
         req_open[pid] = true;
+        if (with_counters) {
+          pp.at_start = now;
+          pp.kills_at_start = kills_so_far;
+          pp.active_at_start = 0;
+          for (const Interval& iv : intervals) {
+            if (iv.mask != 0) ++pp.active_at_start;
+          }
+          pp.started = true;
+        }
         break;
 
       case EventKind::kEnter: {
@@ -192,6 +275,24 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong) {
       case EventKind::kReqDone:
         req_open[pid] = false;
         for (Interval& iv : intervals) iv.mask &= ~bit;
+        if (with_counters && pp.started && now.ops >= pp.at_start.ops) {
+          // Super-passage cost = kReqDone − kReqStart snapshot delta
+          // (includes retries burned by kills mid-passage and the CS
+          // body's cfg.cs_shared_ops instrumented ops), conditioned on
+          // F = consequence intervals active at the start plus kills
+          // during — the same notion the in-process harness bins by.
+          const uint64_t f =
+              pp.active_at_start + (kills_so_far - pp.kills_at_start);
+          ForkRmrBin& bin = v.rmr_by_overlap[OverlapBucket(f)];
+          ++bin.passages;
+          bin.ops_sum += now.ops - pp.at_start.ops;
+          bin.cc_sum += now.cc_rmrs - pp.at_start.cc_rmrs;
+          bin.dsm_sum += now.dsm_rmrs - pp.at_start.dsm_rmrs;
+          bin.cc_max = std::max(bin.cc_max, now.cc_rmrs - pp.at_start.cc_rmrs);
+          bin.dsm_max =
+              std::max(bin.dsm_max, now.dsm_rmrs - pp.at_start.dsm_rmrs);
+        }
+        pp.started = false;
         break;
 
       case EventKind::kKill: {
@@ -200,17 +301,21 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong) {
           if (req_open[j]) mask |= 1ULL << j;
         }
         intervals.push_back({mask, e.unsafe != 0});
+        ++kills_so_far;
         break;
       }
 
       case EventKind::kCrashNoted:
-        // Only meaningful if the corpse's ENTER made it into the log;
-        // the ~2-instruction windows around the in_cs flag flips can
-        // produce a kCrashNoted with no logged CS, which must not plant
-        // a phantom obligation.
+        // Only meaningful if the corpse's ENTER made it into the log.
+        // Under the cs_ticket discipline a respawn emits kCrashNoted iff
+        // the log holds its corpse's unmatched kEnter, so the phantom
+        // branch (which used to fire from the old in_cs flag's
+        // two-instruction lie windows) must stay empty.
         if ((holders & bit) != 0) {
           holders &= ~bit;
           if (strong) obliged |= bit;
+        } else {
+          ++v.phantom_crash_notes;
         }
         break;
 
@@ -246,15 +351,34 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
   }
   auto* cs_scratch = seg.New<rmr::Atomic<uint64_t>>(0);
 
-  // Crash controller chain in the segment: the PRNG streams and the kill
-  // budget must be shared across respawns and processes, or "exactly K
-  // failures" would drift with every respawned child's private copy.
+  // Crash controller chain in the segment: the PRNG streams, hit counts,
+  // and kill budgets must be shared across respawns and processes, or
+  // "exactly K failures" (and one-shot site kills) would drift with every
+  // respawned child's private copy.
   CrashController* crash = nullptr;
-  if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
-    auto* inner = seg.New<RandomCrash>(cfg.seed ^ 0x51684c1ull,
-                                       cfg.self_kill_per_op,
-                                       cfg.self_kill_budget);
-    crash = seg.New<SigkillCrash>(inner, ctl->kill_slots);
+  {
+    std::vector<CrashController*> parts;
+    if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
+      parts.push_back(seg.New<RandomCrash>(cfg.seed ^ 0x51684c1ull,
+                                           cfg.self_kill_per_op,
+                                           cfg.self_kill_budget));
+    }
+    if (!cfg.site_kill_site.empty()) {
+      RME_CHECK(cfg.site_kill_pid >= 0 && cfg.site_kill_pid < n);
+      // The SiteCrash object (with its atomic hit/budget words) lives in
+      // the segment; the short site label sits in the SSO buffer or on
+      // the pre-fork parent heap, read-only after the forks either way.
+      parts.push_back(seg.New<SiteCrash>(cfg.site_kill_pid,
+                                         cfg.site_kill_site,
+                                         /*after_op=*/true,
+                                         cfg.site_kill_nth));
+    }
+    if (parts.size() == 1) {
+      crash = seg.New<SigkillCrash>(parts[0], ctl->kill_slots);
+    } else if (!parts.empty()) {
+      crash = seg.New<SigkillCrash>(seg.New<CompositeCrash>(parts),
+                                    ctl->kill_slots);
+    }
   }
 
   // Construct the lock with operator new diverted into the segment: the
@@ -324,7 +448,7 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
     // unsafe, conservatively.
     AppendEvent(ctl, EventKind::kKill, pid,
                 ctl->per_pid[pid].done.load(std::memory_order_relaxed),
-                /*unsafe=*/true);
+                /*counters=*/nullptr, /*unsafe=*/true);
     ::kill(cs.os_pid, SIGKILL);
   };
 
@@ -355,6 +479,31 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
 
       if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
         ++result.kills;
+        if (cfg.mirror_counters) {
+          // Counter-survival check: the victim's segment slot (flushed on
+          // every instrumented op) must be at or ahead of its newest
+          // committed event snapshot (flushed only at passage
+          // milestones). The gap is the work since that event that the
+          // kill did NOT lose — what a kill loses is only the op past
+          // the last mirror flush.
+          const OpCounters slot_cnt = ctl->pid_counters[pid].Snapshot();
+          const uint64_t newest = std::min<uint64_t>(
+              ctl->log_next.load(std::memory_order_acquire), ctl->log_cap);
+          for (uint64_t i = newest; i-- > 0;) {
+            const ShmEvent& e = ctl->log[i];
+            const auto k =
+                static_cast<EventKind>(e.kind.load(std::memory_order_acquire));
+            if (k == EventKind::kInvalid || k == EventKind::kKill) continue;
+            if (static_cast<int>(e.pid) != pid) continue;
+            if (slot_cnt.ops < e.ops) {
+              ++result.counter_regressions;
+            } else {
+              result.max_kill_ops_gap =
+                  std::max(result.max_kill_ops_gap, slot_cnt.ops - e.ops);
+            }
+            break;
+          }
+        }
         const uint64_t fired =
             ctl->kill_slots[pid].fired.load(std::memory_order_acquire);
         if (fired > cs.self_kills_seen) {
@@ -371,7 +520,7 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
           if (!cs.parent_kill_pending) {
             AppendEvent(ctl, EventKind::kKill, pid,
                         ctl->per_pid[pid].done.load(std::memory_order_relaxed),
-                        unsafe);
+                        /*counters=*/nullptr, unsafe);
           }
         } else {
           ++result.parent_kills;
@@ -476,12 +625,22 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
       ctl->log_overflow.load(std::memory_order_relaxed) != 0;
   result.segment_bytes_used = seg.bytes_used();
 
-  const LogVerdicts v = ScanLog(ctl, lock->IsStronglyRecoverable());
+  LogVerdicts v = ScanLog(ctl, lock->IsStronglyRecoverable(),
+                          cfg.mirror_counters);
   result.me_violations = v.me_violations;
   result.bcsr_violations = v.bcsr_violations;
   result.admissible_overlaps = v.admissible_overlaps;
   result.responsiveness_deficits = v.responsiveness_deficits;
   result.max_concurrent_cs = v.max_concurrent;
+  result.rmr_by_overlap = std::move(v.rmr_by_overlap);
+  result.phantom_crash_notes = v.phantom_crash_notes;
+  result.counter_regressions += v.counter_regressions;
+  if (cfg.mirror_counters) {
+    result.pid_counters.reserve(static_cast<size_t>(n));
+    for (int pid = 0; pid < n; ++pid) {
+      result.pid_counters.push_back(ctl->pid_counters[pid].Snapshot());
+    }
+  }
   result.lock_stats = lock->StatsString();
   return result;
   // `lock` (destroyed first) runs its destructors against the segment;

@@ -24,10 +24,13 @@
 // overlaps checked for admissibility against failure consequence
 // intervals reconstructed from kill events.
 //
-// What this harness measures: crash-recovery *correctness* under real
-// process death. What it does not: RMR counts — per-passage accounting
-// lives in each child's private counters and dies with it, so RMR
-// statistics remain the in-process harness's job (EXPERIMENTS.md).
+// This harness measures crash-recovery *correctness* under real process
+// death AND — since counter accounting moved into the shared segment —
+// RMR statistics under genuine SIGKILLs: each child's counters mirror
+// into a per-pid segment slot on every instrumented op (losing at most
+// the in-flight op on a kill), every log event snapshots the writer's
+// cumulative counters, and the post-hoc scan prices each passage and
+// conditions it on F = the kills that overlapped it (the Fig. 3 x-axis).
 //
 // Must be called from a single-threaded parent (it forks and the
 // children continue without exec; a multithreaded parent would leak
@@ -35,7 +38,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <vector>
+
+#include "rmr/memory_model.hpp"
 
 namespace rme {
 
@@ -62,9 +69,37 @@ struct ForkCrashConfig {
   int batch_size = 0;
   double kill_interval_ms = 2.0;
 
+  /// Deterministic site-pinned kill (regression tests): when
+  /// `site_kill_site` is non-empty, process `site_kill_pid` SIGKILLs
+  /// itself at its `site_kill_nth`-th after-op probe of that exact site
+  /// label, once per run (the controller's fired state lives in the
+  /// segment, so the respawn does not re-fire). The harness's own probe
+  /// sites "h.enter.brk" and "h.exit.brk" land a kill inside the
+  /// CS-bracket commit windows; "cs.op" lands one inside the CS.
+  std::string site_kill_site;
+  int site_kill_pid = 0;
+  uint64_t site_kill_nth = 1;
+
+  /// Mirror per-process RMR counters into the segment (kill-survivable
+  /// accounting + per-event snapshots). Off restores the PR 2 behaviour
+  /// of not measuring RMRs under real crashes.
+  bool mirror_counters = true;
+
   double watchdog_seconds = 30.0;  ///< no-progress abort
   size_t segment_bytes = 64u << 20;
   std::string shm_name;  ///< non-empty: named POSIX segment, else anonymous
+};
+
+/// One bin of per-passage RMR statistics, keyed by OverlapBucket(F)
+/// where F = SIGKILLs whose kill event landed inside the passage's
+/// super-passage (between its kReqStart and kReqDone tickets).
+struct ForkRmrBin {
+  uint64_t passages = 0;
+  uint64_t ops_sum = 0;
+  uint64_t cc_sum = 0;
+  uint64_t dsm_sum = 0;
+  uint64_t cc_max = 0;
+  uint64_t dsm_max = 0;
 };
 
 struct ForkCrashResult {
@@ -89,6 +124,27 @@ struct ForkCrashResult {
   /// Live ownership-word anomalies (cross-check; includes admissible
   /// weak-lock overlaps, so nonzero here is not by itself a failure).
   uint64_t cs_overlap_events = 0;
+
+  // Kill-survivable RMR accounting (empty / zero when mirroring is off).
+  /// Per-passage RMR conditioned on overlapping kills — the fork-mode
+  /// counterpart of RunResult::by_overlap (same OverlapBucket keys).
+  std::map<int, ForkRmrBin> rmr_by_overlap;
+  /// Final segment-resident per-pid counters (cumulative across every
+  /// respawn; they survived each SIGKILL by construction).
+  std::vector<OpCounters> pid_counters;
+  /// kCrashNoted events whose corpse held no logged-CS holder bit. The
+  /// pre-fix bracket windows produced these; the cs_ticket discipline
+  /// must keep this at zero.
+  uint64_t phantom_crash_notes = 0;
+  /// Counter snapshots that went backwards — per-pid across events in
+  /// ticket order, or a segment slot behind the victim's last committed
+  /// event at reap time. Must be zero.
+  uint64_t counter_regressions = 0;
+  /// Max ops between a SIGKILLed child's segment-resident counters and
+  /// its last committed event snapshot, over all kills: the work done
+  /// since the last event that still survived the kill (the loss bound
+  /// is the one in-flight op *past* the mirror, not past an event).
+  uint64_t max_kill_ops_gap = 0;
 
   uint64_t log_events = 0;
   bool log_overflow = false;

@@ -25,14 +25,6 @@ struct WorkerStats {
   bool aborted = false;
 };
 
-// Bucket an overlap count so the by-overlap tables stay compact.
-int OverlapBucket(uint64_t f) {
-  if (f <= 8) return static_cast<int>(f);
-  int b = 16;
-  while (static_cast<uint64_t>(b) < f) b *= 2;
-  return b;
-}
-
 }  // namespace
 
 RunResult RunWorkload(RecoverableLock& lock, const WorkloadConfig& cfg,

@@ -13,6 +13,13 @@
 //    each overlap was admissible under an active failure consequence
 //    interval (paper Defs 3.1/3.2). The log is the real checker; the
 //    ownership word is a cross-check.
+//
+// RMR accounting is homed here too: per-pid, cache-line-padded
+// SharedOpCounters slots that the instrumentation hot path mirrors into
+// (rmr/counters.cpp), so RMR counts survive a SIGKILL of their owner —
+// every event additionally snapshots the writer's cumulative counters,
+// which lets the post-hoc scan price each passage and condition it on
+// the kills that overlapped it.
 #pragma once
 
 #include <atomic>
@@ -30,7 +37,8 @@ enum class EventKind : uint32_t {
   kExit,         ///< CS left (before lock.Exit)
   kReqDone,      ///< passage satisfied (after lock.Exit returned)
   kKill,         ///< parent observed/issued a SIGKILL of `pid`
-  kCrashNoted,   ///< respawned `pid` found its in_cs flag set (died in CS)
+  kCrashNoted,   ///< respawned `pid` found its previous incarnation died
+                 ///< inside the logged CS region (cs_ticket forensics)
   kDone,         ///< pid finished its workload gracefully
 };
 
@@ -41,16 +49,41 @@ struct ShmEvent {
   /// kind with garbage operands.
   std::atomic<uint32_t> kind{0};
   uint64_t passage = 0;   ///< pid's passage index at the event
+  /// Writer's cumulative OpCounters at the event (zero for parent-side
+  /// events and when counter mirroring is off). Cumulative across the
+  /// writer's respawns, so per-pid values are monotone in ticket order
+  /// and a passage's cost is the kReqDone − kReqStart delta.
+  uint64_t ops = 0;
+  uint64_t cc_rmrs = 0;
+  uint64_t dsm_rmrs = 0;
   uint32_t unsafe = 0;    ///< kKill only: crash hit a sensitive site
   uint32_t pad = 0;
 };
+
+/// cs_ticket encoding: 0 = outside the logged CS region; otherwise
+/// ((slot + 1) << 1) | phase, where `slot` is the log index this pid
+/// reserved for its bracket event and `phase` is kCsEnterPhase while the
+/// kEnter commit is pending or done, kCsExitPhase once the kExit slot
+/// has been reserved. The ticket is stored *before* the event commits,
+/// so a respawn can decide exactly where its previous incarnation died:
+/// the reserved slot still reading kInvalid means the commit never
+/// happened. This closes the old two-instruction windows where a kill
+/// produced a "crash noted" with no logged CS (or vice versa).
+inline constexpr uint64_t kCsEnterPhase = 0;
+inline constexpr uint64_t kCsExitPhase = 1;
+
+inline uint64_t EncodeCsTicket(uint64_t slot, uint64_t phase) {
+  return ((slot + 1) << 1) | phase;
+}
+inline uint64_t CsTicketSlot(uint64_t ticket) { return (ticket >> 1) - 1; }
+inline uint64_t CsTicketPhase(uint64_t ticket) { return ticket & 1; }
 
 /// Per-child control words, one cache line each so children never steal
 /// each other's lines on the passage hot path.
 struct alignas(kCacheLineBytes) PerPidControl {
   std::atomic<uint64_t> done{0};      ///< completed passages (persists kills)
   std::atomic<uint64_t> attempts{0};
-  std::atomic<uint32_t> in_cs{0};     ///< set around the logged CS region
+  std::atomic<uint64_t> cs_ticket{0}; ///< logged-CS bracket (see above)
   std::atomic<uint32_t> req_open{0};  ///< super-passage in flight
   std::atomic<uint32_t> finished{0};  ///< graceful completion
 };
@@ -72,23 +105,52 @@ struct ShmControl {
   SigkillCrash::PidSlot kill_slots[kMaxProcs];
 
   PerPidControl per_pid[kMaxProcs];
+
+  /// Kill-survivable RMR accounting: one cache-line-padded slot per pid,
+  /// bound as the instrumentation mirror at ProcessBinding time. Only
+  /// the owner writes its slot (relaxed, its own line), so the PR 1
+  /// false-sharing discipline is preserved; a SIGKILL loses at most the
+  /// owner's one in-flight op.
+  SharedOpCounters pid_counters[kMaxProcs];
 };
 
-/// Appends one event (any process). A writer killed between reserving
-/// the slot and filling it leaves kind == kInvalid, which scans skip.
-inline void AppendEvent(ShmControl* ctl, EventKind kind, int pid,
-                        uint64_t passage, bool unsafe = false) {
+/// Reserves one log slot (any process). The slot stays kInvalid until
+/// CommitEvent fills it; a reservation past log_cap records overflow and
+/// commits nowhere.
+inline uint64_t ReserveEvent(ShmControl* ctl) {
   const uint64_t slot =
       ctl->log_next.fetch_add(1, std::memory_order_acq_rel);
   if (slot >= ctl->log_cap) {
     ctl->log_overflow.store(1, std::memory_order_relaxed);
-    return;
   }
+  return slot;
+}
+
+/// Fills a reserved slot. The kind word is written *last* (release): a
+/// writer killed mid-commit leaves kInvalid, which scans skip.
+inline void CommitEvent(ShmControl* ctl, uint64_t slot, EventKind kind,
+                        int pid, uint64_t passage,
+                        const OpCounters* counters = nullptr,
+                        bool unsafe = false) {
+  if (slot >= ctl->log_cap) return;
   ShmEvent& e = ctl->log[slot];
   e.pid = static_cast<uint32_t>(pid);
   e.passage = passage;
+  if (counters != nullptr) {
+    e.ops = counters->ops;
+    e.cc_rmrs = counters->cc_rmrs;
+    e.dsm_rmrs = counters->dsm_rmrs;
+  }
   e.unsafe = unsafe ? 1 : 0;
   e.kind.store(static_cast<uint32_t>(kind), std::memory_order_release);
+}
+
+/// Appends one event (reserve + commit in one step).
+inline void AppendEvent(ShmControl* ctl, EventKind kind, int pid,
+                        uint64_t passage,
+                        const OpCounters* counters = nullptr,
+                        bool unsafe = false) {
+  CommitEvent(ctl, ReserveEvent(ctl), kind, pid, passage, counters, unsafe);
 }
 
 }  // namespace rme::shm

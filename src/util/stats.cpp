@@ -43,25 +43,52 @@ double Summary::stddev() const {
 }
 
 void Percentiles::Add(double x) {
+#ifndef NDEBUG
+  if (seen_ == 0) {
+    writer_ = std::this_thread::get_id();
+  } else {
+    RME_DCHECK(writer_ == std::this_thread::get_id());
+  }
+#endif
   ++seen_;
   if (samples_.size() < capacity_) {
     samples_.push_back(x);
     sorted_ = false;
+    return;
+  }
+  // Algorithm R: element seen_ replaces a uniformly chosen reservoir slot
+  // with probability capacity/seen, keeping the reservoir a uniform
+  // sample of the full stream instead of its warm-up prefix.
+  const uint64_t j = rng_.NextBounded(seen_);
+  if (j < capacity_) {
+    samples_[j] = x;
+    sorted_ = false;
+  }
+}
+
+void Percentiles::Finalize() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
   }
 }
 
 double Percentiles::Quantile(double q) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  RME_CHECK_MSG(sorted_, "Percentiles::Finalize() must run before Quantile()");
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+int OverlapBucket(uint64_t f) {
+  if (f <= 8) return static_cast<int>(f);
+  int b = 16;
+  while (static_cast<uint64_t>(b) < f) b *= 2;
+  return b;
 }
 
 namespace {

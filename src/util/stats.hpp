@@ -5,7 +5,10 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "util/prng.hpp"
 
 namespace rme {
 
@@ -31,22 +34,42 @@ class Summary {
   double max_ = 0.0;
 };
 
-/// Fixed-capacity reservoir that also records exact percentiles when the
-/// sample count stays within capacity (our experiments keep full samples).
+/// Fixed-capacity reservoir of quantile samples. Within capacity the
+/// samples (and so the quantiles) are exact; past it, Algorithm-R
+/// reservoir sampling keeps a uniform sample of *everything* seen, driven
+/// by the deterministic Prng so runs stay reproducible. (The previous
+/// behaviour silently kept only the first `capacity` samples, biasing
+/// every reported quantile toward warm-up passages.)
+///
+/// Single-writer: Add() from one thread (asserted in debug builds), then
+/// Finalize() once before any Quantile() call — the sort happens at that
+/// single explicit point, so concurrent reporter threads can query
+/// Quantile() without racing on a lazy sort.
 class Percentiles {
  public:
-  explicit Percentiles(size_t capacity = 1 << 20) : capacity_(capacity) {}
+  explicit Percentiles(size_t capacity = 1 << 20,
+                       uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : capacity_(capacity), rng_(seed) {}
 
   void Add(double x);
-  /// q in [0, 1]; returns 0 if empty.
+  /// Sorts the reservoir; call once after the last Add().
+  void Finalize();
+  /// q in [0, 1]; returns 0 if empty. Requires Finalize() first.
   double Quantile(double q) const;
   size_t size() const { return samples_.size(); }
+  /// Total samples offered to Add(): size()/observed() is the retention
+  /// rate reports should state when the reservoir subsampled.
+  uint64_t observed() const { return seen_; }
 
  private:
   size_t capacity_;
-  mutable bool sorted_ = true;
-  mutable std::vector<double> samples_;
+  bool sorted_ = true;
+  std::vector<double> samples_;
   uint64_t seen_ = 0;
+  Prng rng_;
+#ifndef NDEBUG
+  std::thread::id writer_{};
+#endif
 };
 
 /// Power-of-two bucketed histogram for per-passage RMR counts.
@@ -64,6 +87,12 @@ class Histogram {
   uint64_t buckets_[kBuckets] = {};
   uint64_t total_ = 0;
 };
+
+/// Bucket for conditioning per-passage statistics on F = the number of
+/// failures overlapping the passage: exact for F <= 8, then rounded up to
+/// the next power of two. Shared by the in-process harness and the fork
+/// harness so their adaptivity curves bin identically.
+int OverlapBucket(uint64_t f);
 
 /// Least-squares slope of log(y) against log(x) over paired samples with
 /// x, y > 0. A slope near 0 indicates O(1) growth, near 0.5 indicates

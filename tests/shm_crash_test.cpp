@@ -176,5 +176,144 @@ TEST(ForkHarness, EveryRegistryLockSurvivesIndependentAndBatchKills) {
   }
 }
 
+/// Shared assertions for the counter-survival regimes: the segment slots
+/// are live (every pid priced its work), every per-pid snapshot sequence
+/// is monotone across kills and respawns, and the per-passage bins
+/// account for (at least) every cleanly-priced passage.
+void ExpectCountersSurvived(const ForkCrashResult& r, int num_procs) {
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  ASSERT_EQ(r.pid_counters.size(), static_cast<size_t>(num_procs));
+  for (const OpCounters& c : r.pid_counters) {
+    EXPECT_GT(c.ops, 0u);
+    EXPECT_GT(c.cc_rmrs, 0u);
+    EXPECT_GT(c.dsm_rmrs, 0u);
+    // Each instrumented op contributes at most one RMR per model.
+    EXPECT_GE(c.ops, c.cc_rmrs);
+    EXPECT_GE(c.ops, c.dsm_rmrs);
+  }
+  uint64_t binned = 0;
+  for (const auto& [bucket, bin] : r.rmr_by_overlap) {
+    EXPECT_GE(bucket, 0);
+    EXPECT_GT(bin.passages, 0u);
+    EXPECT_GE(bin.cc_max * bin.passages, bin.cc_sum);
+    EXPECT_GE(bin.dsm_max * bin.passages, bin.dsm_sum);
+    binned += bin.passages;
+  }
+  // Every completed passage is priced except the (rare) ones whose
+  // kReqStart commit itself was killed.
+  EXPECT_GT(binned, 0u);
+  EXPECT_LE(binned, r.completed_passages);
+  EXPECT_GE(binned + r.kills, r.completed_passages);
+}
+
+TEST(ForkHarness, CountersSurviveIndependentKills) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 2000;
+  cfg.seed = 41;
+  cfg.independent_kills = 40;
+  cfg.kill_interval_ms = 0.25;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 8000u);
+  EXPECT_GT(r.kills, 0u);
+  ExpectCountersSurvived(r, cfg.num_procs);
+}
+
+TEST(ForkHarness, CountersSurviveWholeBatchKills) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 2000;
+  cfg.seed = 43;
+  cfg.batch_kill_events = 10;
+  cfg.batch_size = 0;  // whole-system batches of all n
+  cfg.kill_interval_ms = 0.25;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 8000u);
+  EXPECT_GT(r.kills, 0u);
+  ExpectCountersSurvived(r, cfg.num_procs);
+  // A killed pid's slot still prices *all* incarnations: after ~10
+  // system-wide batches each slot has far more ops than one passage.
+  for (const OpCounters& c : r.pid_counters) EXPECT_GT(c.ops, 100u);
+}
+
+TEST(ForkHarness, PinnedCsKillLosesAtMostTheInFlightOp) {
+  // SIGKILL pid 1 exactly at its first "cs.op" after-probe: the mirror
+  // flushed that op before the probe fired, so the segment slot must sit
+  // exactly one op past the corpse's committed kEnter snapshot.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 50;
+  cfg.seed = 47;
+  cfg.site_kill_site = "cs.op";
+  cfg.site_kill_pid = 1;
+  cfg.site_kill_nth = 1;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 100u);
+  EXPECT_EQ(r.kills, 1u);
+  EXPECT_EQ(r.child_kills, 1u);
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.max_kill_ops_gap, 1u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+}
+
+TEST(ForkHarness, KillInsideEnterBracketWindowIsNotAPhantomCrash) {
+  // Lands the SIGKILL between the enter-slot ticket store and the kEnter
+  // commit — the old in_cs flag logged this death as "crashed inside the
+  // CS" with no matching kEnter (a phantom the checker had to shrug off).
+  // The cs_ticket forensics classify it exactly: slot uncommitted, so the
+  // respawn emits nothing.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 200;
+  cfg.seed = 53;
+  cfg.site_kill_site = "h.enter.brk";
+  cfg.site_kill_pid = 2;
+  cfg.site_kill_nth = 5;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 800u);
+  EXPECT_EQ(r.kills, 1u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+}
+
+TEST(ForkHarness, KillInsideExitBracketWindowStillReleasesTheLoggedCs) {
+  // Lands the SIGKILL between the exit-slot ticket store and the kExit
+  // commit: the log still shows the corpse as a CS holder, and under the
+  // old flag ordering the respawn believed it died *outside* — leaking
+  // the holder bit into a false ME violation on the next entry.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 200;
+  cfg.seed = 59;
+  cfg.site_kill_site = "h.exit.brk";
+  cfg.site_kill_pid = 2;
+  cfg.site_kill_nth = 5;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 800u);
+  EXPECT_EQ(r.kills, 1u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+}
+
+TEST(ForkHarness, MirroringOffRestoresNoRmrMode) {
+  ForkCrashConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 100;
+  cfg.seed = 61;
+  cfg.mirror_counters = false;
+  const ForkCrashResult r = RunForkCrashWorkload("wr", cfg);
+  EXPECT_EQ(r.completed_passages, 200u);
+  EXPECT_TRUE(r.rmr_by_overlap.empty());
+  EXPECT_TRUE(r.pid_counters.empty());
+  EXPECT_EQ(r.max_kill_ops_gap, 0u);
+}
+
 }  // namespace
 }  // namespace rme

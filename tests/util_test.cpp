@@ -93,9 +93,41 @@ TEST(Summary, MergeMatchesConcatenation) {
 TEST(Percentiles, ExactQuantilesOnSmallSets) {
   Percentiles p;
   for (int i = 1; i <= 100; ++i) p.Add(i);
+  p.Finalize();
+  EXPECT_EQ(p.observed(), 100u);
+  EXPECT_EQ(p.size(), 100u);
   EXPECT_NEAR(p.Quantile(0.0), 1.0, 1e-9);
   EXPECT_NEAR(p.Quantile(1.0), 100.0, 1e-9);
   EXPECT_NEAR(p.Quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(Percentiles, ReservoirSamplesTheFullStreamNotItsPrefix) {
+  // Stream 0..n-1 through a small reservoir. The old policy kept only the
+  // first `capacity` samples, so every quantile collapsed into the warm-up
+  // prefix (q50 ~ capacity/2); a uniform reservoir tracks the stream.
+  const uint64_t n = 100000;
+  Percentiles p(1000);
+  for (uint64_t i = 0; i < n; ++i) p.Add(static_cast<double>(i));
+  p.Finalize();
+  EXPECT_EQ(p.observed(), n);
+  EXPECT_EQ(p.size(), 1000u);
+  EXPECT_NEAR(p.Quantile(0.5), 0.5 * static_cast<double>(n), 0.05 * n);
+  EXPECT_NEAR(p.Quantile(0.9), 0.9 * static_cast<double>(n), 0.05 * n);
+  EXPECT_GT(p.Quantile(1.0), 0.9 * static_cast<double>(n));
+}
+
+TEST(Percentiles, ReservoirIsDeterministicForAGivenSeed) {
+  Percentiles a(64, 123), b(64, 123);
+  for (int i = 0; i < 10000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  a.Finalize();
+  b.Finalize();
+  ASSERT_EQ(a.size(), b.size());
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q));
+  }
 }
 
 TEST(Histogram, CountsAndMerge) {

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Regenerates the committed BENCH_instr_overhead.json snapshot:
-# runs bench_instr_overhead and bench_throughput from an existing build
-# tree and merges their results plus derived overhead ratios into one
-# document. Usage: tools/make_bench_json.sh [build-dir] (default: build)
+# Regenerates the committed benchmark snapshots:
+#  - BENCH_instr_overhead.json: bench_instr_overhead + bench_throughput
+#    merged with derived overhead ratios (including the mirrored series
+#    that prices the fork harness's kill-survivable counter flush);
+#  - BENCH_fork_rmr.json: bench_fork_crash --report=rmr — per-lock RMR
+#    conditioned on overlapping SIGKILLs, straight from the bench's
+#    --json_out.
+# Usage: tools/make_bench_json.sh [build-dir] (default: build)
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -38,13 +42,17 @@ ratios = {}
 for t in (1, 4, 8, 16):
     native = time_of(overhead, "native_fetch_add", t)
     instr = time_of(overhead, "instr_fetch_add", t)
+    mirrored = time_of(overhead, "instr_fetch_add_mirrored", t)
     block1 = time_of(overhead, "instr_fetch_add_block1", t)
     if native:
         ratios[str(t)] = {
             "native_ns": round(native, 2),
             "instr_ns": round(instr, 2),
+            "instr_mirrored_ns": round(mirrored, 2) if mirrored else None,
             "instr_block1_ns": round(block1, 2),
             "instr_over_native": round(instr / native, 2),
+            "mirrored_over_native":
+                round(mirrored / native, 2) if mirrored else None,
             "block1_over_native": round(block1 / native, 2),
         }
 
@@ -66,3 +74,11 @@ print("wrote BENCH_instr_overhead.json")
 print("overhead ratios:", json.dumps(ratios, indent=1))
 print("throughput aggregates:", agg)
 EOF
+
+# Fork-mode RMR under genuine SIGKILLs: the bench writes the JSON itself
+# (and exits nonzero on any verdict/accounting failure, aborting here).
+"$BUILD_DIR"/bench/bench_fork_crash \
+  --n=8 --passages=2000 --independent=100 --batches=20 \
+  --interval_ms=0.5 --report=rmr \
+  --json_out=BENCH_fork_rmr.json >/dev/null
+echo "wrote BENCH_fork_rmr.json"
