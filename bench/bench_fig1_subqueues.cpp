@@ -51,7 +51,7 @@ int BenchMain(int argc, char** argv) {
         lock.Enter(pid);
       } catch (const ProcessCrash&) {
       }
-      CurrentProcess().crash = nullptr;
+      CurrentProcess().SetCrashController(nullptr);
       lock.Recover(pid);  // abort: resets tail, splitting the queue
       lock.Enter(pid);    // rejoins on a fresh (empty) queue and enters CS
       ++in_cs;

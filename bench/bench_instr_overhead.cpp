@@ -9,8 +9,8 @@
 // (seed-equivalent clock granularity) keeps showing the old behaviour.
 //
 // Emit machine-readable results with:
-//   bench_instr_overhead --benchmark_out=BENCH_instr_overhead.json \
-//                        --benchmark_out_format=json
+//   bench_instr_overhead --benchmark_out=BENCH_instr_overhead.json
+//                        --benchmark_out_format=json   (one command line)
 // (see EXPERIMENTS.md for how the overhead ratio is derived per thread
 // count: ratio = instr time / native time for the same op).
 #include <benchmark/benchmark.h>
@@ -31,6 +31,10 @@ struct alignas(kCacheLineBytes) PaddedNative {
 };
 PaddedNative g_native[kMaxProcs];
 rmr::Atomic<uint64_t> g_instr[kMaxProcs];
+/// Second per-thread variable for the CS-shaped mix (spin target,
+/// distinct from the exchanged/stored one, as in a real lock passage).
+rmr::Atomic<uint64_t> g_instr_spin[kMaxProcs];
+PaddedNative g_native_spin[kMaxProcs];
 /// Per-thread mirror slots for the `mirrored` series (each alignas(64),
 /// so the flush hits only the owner's own line — the fork-harness
 /// layout's discipline, reproduced here to price it).
@@ -92,6 +96,65 @@ void BM_InstrLoadHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+/// Cold read: the CC hit-test misses and reinstalls the copy every time
+/// (the mask is cleared by an uninstrumented RawStore each iteration —
+/// the miss branch plus its fetch_or is the quantity priced here). The
+/// native mirror, native_store_load, pays the same store+load pair
+/// without the accounting, so the per-iteration ratio isolates the
+/// miss-path instrumentation.
+void BM_InstrLoadMiss(benchmark::State& state) {
+  ProcessBinding bind(state.thread_index(), nullptr);
+  rmr::Atomic<uint64_t>& v = g_instr[state.thread_index()];
+  for (auto _ : state) {
+    v.RawStore(1);  // clears the CC mask: next Load is a modelled miss
+    benchmark::DoNotOptimize(v.Load("bench.load"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NativeStoreLoad(benchmark::State& state) {
+  std::atomic<uint64_t>& v = g_native[state.thread_index()].v;
+  for (auto _ : state) {
+    v.store(1, std::memory_order_seq_cst);
+    benchmark::DoNotOptimize(v.load(std::memory_order_seq_cst));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// The shape a real lock passage executes (one FAS on the queue word, a
+/// short spin of cached-hit loads on the own flag, one store to hand
+/// over), so the fused probe is priced on the pattern the Table 1/2 and
+/// Fig. 1–3 runs actually spend their time in — not just fetch_add.
+/// Items processed = passages (6 shared-memory ops each).
+void BM_InstrCsMix(benchmark::State& state) {
+  ProcessBinding bind(state.thread_index(), nullptr);
+  rmr::Atomic<uint64_t>& tail = g_instr[state.thread_index()];
+  rmr::Atomic<uint64_t>& flag = g_instr_spin[state.thread_index()];
+  flag.Store(1, "bench.warm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tail.Exchange(1, "bench.fas"));
+    for (int i = 0; i < 4; ++i) {
+      benchmark::DoNotOptimize(flag.Load("bench.spin"));  // cached hit
+    }
+    tail.Store(0, "bench.rel");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NativeCsMix(benchmark::State& state) {
+  std::atomic<uint64_t>& tail = g_native[state.thread_index()].v;
+  std::atomic<uint64_t>& flag = g_native_spin[state.thread_index()].v;
+  flag.store(1, std::memory_order_seq_cst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tail.exchange(1, std::memory_order_seq_cst));
+    for (int i = 0; i < 4; ++i) {
+      benchmark::DoNotOptimize(flag.load(std::memory_order_seq_cst));
+    }
+    tail.store(0, std::memory_order_seq_cst);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 void SetClockBlock(uint64_t b) { memory_model_config().clock_block = b; }
 
 }  // namespace
@@ -122,6 +185,10 @@ int main(int argc, char** argv) {
       {"instr_fetch_add_mirrored", rme::BM_InstrFetchAddMirrored, 0},
       {"instr_fetch_add_block1", rme::BM_InstrFetchAddBlock1, 1},
       {"instr_load_hit", rme::BM_InstrLoadHit, 0},
+      {"native_store_load", rme::BM_NativeStoreLoad, 0},
+      {"instr_load_miss", rme::BM_InstrLoadMiss, 0},
+      {"native_cs_mix", rme::BM_NativeCsMix, 0},
+      {"instr_cs_mix", rme::BM_InstrCsMix, 0},
   };
   for (const Entry& e : entries) {
     for (int threads : {1, 4, 8, 16}) {

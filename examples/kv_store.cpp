@@ -101,7 +101,7 @@ int main() {
       }
       // Disarm injection before the graceful-shutdown hook: a crash there
       // would escape the passage loop's try block.
-      rme::CurrentProcess().crash = nullptr;
+      rme::CurrentProcess().SetCrashController(nullptr);
       lock->OnProcessDone(pid);
     });
   }

@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
               }
             }
           }
-          rme::CurrentProcess().crash = nullptr;
+          rme::CurrentProcess().SetCrashController(nullptr);
           lock2->OnProcessDone(pid);
         });
         std::printf("%s", rme::DeterministicSim::FormatTrace(

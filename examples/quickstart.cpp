@@ -49,7 +49,7 @@ int main() {
       }
       // Disarm injection before the graceful-shutdown hook: a crash there
       // would escape the passage loop's try block.
-      rme::CurrentProcess().crash = nullptr;
+      rme::CurrentProcess().SetCrashController(nullptr);
       lock->OnProcessDone(pid);
       const rme::OpCounters& ops = rme::CurrentProcess().counters;
       std::printf("p%d done: %llu shared ops, %llu CC-RMRs, %llu DSM-RMRs\n",

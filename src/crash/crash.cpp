@@ -7,23 +7,29 @@ namespace rme {
 
 namespace rmr_detail {
 
-void MaybeCrash(const char* site, bool after_op) {
-  ProcessContext& ctx = CurrentProcess();
-  if (!after_op) {
-    // Stall diagnostics; relaxed atomic store because the harness
-    // watchdog reads it from its own thread.
-    ctx.last_site.store(site, std::memory_order_relaxed);
-    ctx.ops_snapshot.store(ctx.counters.ops, std::memory_order_relaxed);
-    // Deterministic simulator: interleaving decision point before the op.
-    SimYieldPoint();
+// Slow halves of the fused OpProbe (rmr/memory_model.hpp). Only reached
+// when the context's fast_flags say there is something to do; the
+// all-default path never leaves the header.
+
+void ProbePreSlow(ProcessContext& ctx, const char* site) {
+  // Deterministic simulator: interleaving decision point before the op.
+  if (ctx.fast_flags & ProcessContext::kSimHook) SimYieldPoint();
+  if (!(ctx.fast_flags & ProcessContext::kHasCrash)) return;
+  if (ctx.crash->ShouldCrash(ctx.pid, site, /*after_op=*/false)) {
+    // Stamp with the caller's own issued tick (ctx.clock_next), not the
+    // global reservation frontier: with clock_block > 1 the frontier runs
+    // ahead of every thread by up to a block per thread, which skewed
+    // failure timestamps (and everything conditioned on them) by the
+    // same amount.
+    throw ProcessCrash{ctx.pid, site, /*after_op=*/false, ctx.clock_next};
   }
-  if (ctx.crash == nullptr || ctx.pid == kMemoryNode) return;
-  if (ctx.crash->ShouldCrash(ctx.pid, site, after_op)) {
-    // Stamp with the caller's own issued tick, not the global reservation
-    // frontier: with clock_block > 1 the frontier runs ahead of every
-    // thread by up to a block per thread, which skewed failure timestamps
-    // (and everything conditioned on them) by the same amount.
-    throw ProcessCrash{ctx.pid, site, after_op, LogicalTick()};
+}
+
+void ProbePostSlow(ProcessContext& ctx, const char* site) {
+  // kHasCrash is the only bit that routes here (OpProbe::Done tests it
+  // directly), so the policy consult is unconditional.
+  if (ctx.crash->ShouldCrash(ctx.pid, site, /*after_op=*/true)) {
+    throw ProcessCrash{ctx.pid, site, /*after_op=*/true, ctx.clock_next};
   }
 }
 

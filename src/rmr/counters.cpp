@@ -4,9 +4,17 @@
 
 namespace rme {
 
-namespace {
-thread_local ProcessContext tls_context;
+namespace rmr_detail {
+// The per-thread context behind CurrentProcess(). constinit: no dynamic
+// initializer, so the cross-TU inline accessors compile to a bare TLS
+// address computation (no init-guard), which is what makes the fused
+// probe's single resolution cheap.
+constinit thread_local ProcessContext g_tls_context;
+}  // namespace rmr_detail
 
+using rmr_detail::g_tls_context;
+
+namespace {
 /// Global logical-clock reservation frontier: every tick in [0,
 /// g_clock_next) has been handed to some thread's block; ticks issued so
 /// far are exactly the non-gap portion of those blocks. Alone on its
@@ -20,6 +28,10 @@ struct alignas(kCacheLineBytes) BoundSlot {
   std::atomic<ProcessContext*> ptr{nullptr};
 };
 BoundSlot g_bound[kMaxProcs];
+
+std::atomic<bool> g_abort{false};
+thread_local SimYieldHook tls_yield_hook = nullptr;
+thread_local void* tls_yield_arg = nullptr;
 }  // namespace
 
 ProcessContext* BoundContext(int pid) {
@@ -33,53 +45,56 @@ MemoryModelConfig& memory_model_config() {
 
 uint64_t LogicalNow() { return g_clock_next.load(std::memory_order_relaxed); }
 
-uint64_t LogicalTick() {
-  // clock_next always equals the last tick handed out to this thread
-  // (AdvanceLogicalClock pre-increments), or 0 before the first op.
-  return tls_context.clock_next;
+namespace rmr_detail {
+
+void RefillClockBlock(ProcessContext& ctx) {
+  // Block exhausted (or never reserved): grab the next clock_block
+  // ticks. With clock_block == 1 this is the seed's per-op fetch_add,
+  // tick for tick.
+  uint64_t block = memory_model_config().clock_block;
+  if (block == 0) block = 1;
+  ctx.clock_next = g_clock_next.fetch_add(block, std::memory_order_relaxed);
+  ctx.clock_end = ctx.clock_next + block;
 }
 
-uint64_t AdvanceLogicalClock() {
-  ProcessContext& ctx = tls_context;
-  if (ctx.clock_next == ctx.clock_end) {
-    // Block exhausted (or never reserved): grab the next clock_block
-    // ticks. With clock_block == 1 this is the seed's per-op fetch_add,
-    // tick for tick.
-    uint64_t block = memory_model_config().clock_block;
-    if (block == 0) block = 1;
-    ctx.clock_next = g_clock_next.fetch_add(block, std::memory_order_relaxed);
-    ctx.clock_end = ctx.clock_next + block;
-  }
-  return ++ctx.clock_next;
-}
-
-ProcessContext& CurrentProcess() { return tls_context; }
+}  // namespace rmr_detail
 
 ProcessBinding::ProcessBinding(int pid, CrashController* crash,
                                SharedOpCounters* mirror) {
-  RME_CHECK_MSG(tls_context.pid == kMemoryNode,
+  ProcessContext& ctx = g_tls_context;
+  RME_CHECK_MSG(ctx.pid == kMemoryNode,
                 "thread is already bound to a process");
   RME_CHECK(pid >= 0 && pid < kMaxProcs);
-  tls_context.pid = pid;
-  tls_context.crash = crash;
+  ctx.pid = pid;
+  ctx.crash = crash;
   // With a mirror slot, resume from the slot's surviving value (a fresh
   // slot reads as zero) so the counts stay cumulative across the respawns
   // of a SIGKILLed process; without one, start from zero as always.
-  tls_context.counters = mirror != nullptr ? mirror->Snapshot() : OpCounters{};
-  tls_context.mirror = mirror;
-  tls_context.in_cs = false;
-  g_bound[pid].ptr.store(&tls_context, std::memory_order_release);
+  ctx.counters = mirror != nullptr ? mirror->Snapshot() : OpCounters{};
+  ctx.mirror = mirror;
+  // Everything the per-op probe branches on, resolved once here. The
+  // cc_strict snapshot hoists the memory_model_config() static-guard read
+  // out of every CountWrite; the destructor checks it stayed valid.
+  uint32_t flags = ProcessContext::kBound;
+  if (crash != nullptr) flags |= ProcessContext::kHasCrash;
+  if (mirror != nullptr) flags |= ProcessContext::kHasMirror;
+  if (tls_yield_hook != nullptr) flags |= ProcessContext::kSimHook;
+  if (memory_model_config().cc_strict) flags |= ProcessContext::kCcStrict;
+  ctx.fast_flags = flags;
+  g_bound[pid].ptr.store(&ctx, std::memory_order_release);
 }
 
 ProcessBinding::~ProcessBinding() {
-  g_bound[tls_context.pid].ptr.store(nullptr, std::memory_order_release);
-  tls_context = ProcessContext{};
-}
-
-namespace {
-std::atomic<bool> g_abort{false};
-thread_local SimYieldHook tls_yield_hook = nullptr;
-thread_local void* tls_yield_arg = nullptr;
+  ProcessContext& ctx = g_tls_context;
+  RME_DCHECK_MSG(
+      memory_model_config().cc_strict ==
+          ((ctx.fast_flags & ProcessContext::kCcStrict) != 0),
+      "memory_model_config().cc_strict mutated while a binding was live");
+  g_bound[ctx.pid].ptr.store(nullptr, std::memory_order_release);
+  ctx = ProcessContext{};
+  // The yield hook outlives bindings (the fiber scheduler installs it for
+  // the whole sim run); keep the fresh context's probe flag in sync.
+  if (tls_yield_hook != nullptr) ctx.fast_flags |= ProcessContext::kSimHook;
 }
 
 void RequestGlobalAbort() { g_abort.store(true, std::memory_order_relaxed); }
@@ -89,6 +104,11 @@ bool GlobalAbortRequested() { return g_abort.load(std::memory_order_relaxed); }
 void SetSimYieldHook(SimYieldHook hook, void* arg) {
   tls_yield_hook = hook;
   tls_yield_arg = arg;
+  if (hook != nullptr) {
+    g_tls_context.fast_flags |= ProcessContext::kSimHook;
+  } else {
+    g_tls_context.fast_flags &= ~ProcessContext::kSimHook;
+  }
 }
 
 void SimYieldPoint() {
@@ -108,64 +128,25 @@ void SpinPause(uint64_t iteration) {
   // descheduled writer when cores are oversubscribed (burning long pause
   // bursts before the first yield measurably collapses throughput there).
   constexpr uint64_t kSpinIters = 3;
+  // Stage 2 — the writer is likely descheduled (more simulated processes
+  // than cores is the common case here), so give it CPU time every
+  // iteration. The watchdog-abort check rides along only every
+  // kAbortCheckPeriod yields: the flag is a plain relaxed load, but on a
+  // contended run every waiter re-reading one shared word each iteration
+  // is avoidable coherence traffic, and abort latency of ~32 yields is
+  // noise against the watchdog's second-scale stall threshold. Callers
+  // pass a monotonically growing iteration, so the check always recurs.
+  constexpr uint64_t kAbortCheckPeriod = 32;  // power of two (mask below)
   if (iteration < kSpinIters) {
     uint64_t spins = uint64_t{1} << iteration;
     while (spins-- > 0) CpuRelax();
     return;
   }
-  // Stage 2 — the writer is likely descheduled (more simulated processes
-  // than cores is the common case here), so give it CPU time every
-  // iteration, and check for a watchdog abort.
-  if (g_abort.load(std::memory_order_relaxed)) throw RunAborted{};
+  if ((iteration & (kAbortCheckPeriod - 1)) == 0 &&
+      g_abort.load(std::memory_order_relaxed)) {
+    throw RunAborted{};
+  }
   std::this_thread::yield();
 }
-
-namespace rmr_detail {
-
-namespace {
-
-/// Flushes the private counters into the segment-resident slot. Relaxed
-/// stores on the owner's own cache line: a SIGKILL between the counter
-/// bump and this flush loses exactly the one in-flight op, never more.
-inline void FlushMirror(ProcessContext& ctx) {
-  SharedOpCounters* m = ctx.mirror;
-  m->ops.store(ctx.counters.ops, std::memory_order_relaxed);
-  m->cc_rmrs.store(ctx.counters.cc_rmrs, std::memory_order_relaxed);
-  m->dsm_rmrs.store(ctx.counters.dsm_rmrs, std::memory_order_relaxed);
-}
-
-}  // namespace
-
-void CountRead(int home, std::atomic<uint64_t>& cc_mask) {
-  ProcessContext& ctx = tls_context;
-  AdvanceLogicalClock();
-  ++ctx.counters.ops;
-  if (ctx.pid == kMemoryNode) return;  // unbound thread: no accounting
-  const uint64_t bit = 1ULL << ctx.pid;
-  // CC: hit iff we hold a valid copy; miss installs one.
-  if ((cc_mask.load(std::memory_order_relaxed) & bit) == 0) {
-    ++ctx.counters.cc_rmrs;
-    cc_mask.fetch_or(bit, std::memory_order_relaxed);
-  }
-  // DSM: remote iff the variable is homed elsewhere.
-  if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
-  if (ctx.mirror != nullptr) FlushMirror(ctx);
-}
-
-void CountWrite(int home, std::atomic<uint64_t>& cc_mask) {
-  ProcessContext& ctx = tls_context;
-  AdvanceLogicalClock();
-  ++ctx.counters.ops;
-  if (ctx.pid == kMemoryNode) return;
-  const uint64_t bit = 1ULL << ctx.pid;
-  // CC: every write/RMW goes to memory and invalidates other copies.
-  ++ctx.counters.cc_rmrs;
-  const uint64_t keep = memory_model_config().cc_strict ? 0 : bit;
-  cc_mask.store(keep, std::memory_order_relaxed);
-  if (home != ctx.pid) ++ctx.counters.dsm_rmrs;
-  if (ctx.mirror != nullptr) FlushMirror(ctx);
-}
-
-}  // namespace rmr_detail
 
 }  // namespace rme

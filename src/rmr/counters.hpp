@@ -1,5 +1,5 @@
-// Per-process (thread-local) execution context: process id, RMR counters,
-// and the crash controller consulted on every shared-memory operation.
+// Process binding, spin-wait, and simulator-hook plumbing around the
+// thread-local ProcessContext (rmr/memory_model.hpp).
 //
 // The harness installs a ProcessContext on each worker thread before
 // running the Algorithm-1 loop; lock code never touches this directly —
@@ -15,73 +15,9 @@ namespace rme {
 
 class CrashController;  // crash/crash.hpp
 
-/// Layout: the first cache line holds exactly the fields the
-/// instrumentation touches on every shared-memory operation (hot); the
-/// diagnostic fields the stall watchdog polls from its own thread live on
-/// a separate line (cold), so watchdog reads never steal the owner's hot
-/// line. The struct stays copyable (hand-written, since last_site is an
-/// atomic): the fiber simulator swaps whole images in and out of the
-/// thread-local slot, always from the owning thread, so relaxed copies of
-/// last_site are race-free.
-struct alignas(kCacheLineBytes) ProcessContext {
-  // --- hot: written by the owner on every instrumented op ---
-  int pid = kMemoryNode;          ///< process id in [0, n); kMemoryNode = unbound
-  CrashController* crash = nullptr;  ///< may be null (no injection)
-  /// Sharded logical clock: next unissued tick / exclusive end of the
-  /// block this context reserved from the global counter. next == end
-  /// means "no block"; the next tick reserves a fresh block.
-  uint64_t clock_next = 0;
-  uint64_t clock_end = 0;
-  OpCounters counters;            ///< cumulative counts for this thread
-  /// Optional segment-resident mirror slot (fork harness): when non-null,
-  /// every instrumented op ends with relaxed stores of `counters` into it,
-  /// so the counts survive a SIGKILL of this process losing at most the
-  /// one in-flight op. The slot is this process's own cache line — the
-  /// stores never contend with other processes' accounting.
-  SharedOpCounters* mirror = nullptr;
-  /// True while the process executes its critical section; consulted by
-  /// crash bookkeeping (a crash in CS leaves a reentry obligation).
-  bool in_cs = false;
-
-  // --- cold: polled cross-thread by the stall watchdog ---
-  /// Site label of the most recent shared-memory operation. Diagnostic:
-  /// the harness watchdog prints it on a stall, which pinpoints the spin
-  /// loop a stuck process is in. Atomic (relaxed) because the watchdog
-  /// thread reads it concurrently with the owner's writes; the payload is
-  /// always a string literal, so a relaxed pointer exchange is safe.
-  alignas(kCacheLineBytes) std::atomic<const char*> last_site{""};
-  /// counters.ops as of the most recent operation's pre-op probe; kept
-  /// beside last_site (same cold line, same relaxed discipline) so the
-  /// watchdog can report per-process op counts without racing on the
-  /// hot-path OpCounters fields.
-  std::atomic<uint64_t> ops_snapshot{0};
-
-  ProcessContext() = default;
-  ProcessContext(const ProcessContext& o) { *this = o; }
-  ProcessContext& operator=(const ProcessContext& o) {
-    if (this == &o) return *this;
-    pid = o.pid;
-    crash = o.crash;
-    clock_next = o.clock_next;
-    clock_end = o.clock_end;
-    counters = o.counters;
-    mirror = o.mirror;
-    in_cs = o.in_cs;
-    last_site.store(o.last_site.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-    ops_snapshot.store(o.ops_snapshot.load(std::memory_order_relaxed),
-                       std::memory_order_relaxed);
-    return *this;
-  }
-};
-
 /// Registry of currently bound contexts (diagnostics; read by the stall
 /// watchdog). Entries are owned by the bound threads.
 ProcessContext* BoundContext(int pid);
-
-/// The context bound to the calling thread (a default, unbound context is
-/// provided so library code also works on non-harness threads).
-ProcessContext& CurrentProcess();
 
 /// Binds/unbinds the calling thread to a process id. The harness uses
 /// RAII (ProcessBinding) around each worker's lifetime. A non-null
@@ -89,6 +25,12 @@ ProcessContext& CurrentProcess();
 /// (segment-resident) slot, and seeds the local counters from the slot's
 /// current value so counts stay cumulative and monotone across the
 /// respawns of a killed process.
+///
+/// Binding is also where the probe's `fast_flags` word is computed:
+/// bound/crash/mirror from the arguments, sim-hook from the thread's
+/// installed yield hook, and a snapshot of memory_model_config().cc_strict
+/// (mutating the config while a binding is live is a bug; the destructor
+/// asserts the snapshot still matches in debug builds).
 class ProcessBinding {
  public:
   ProcessBinding(int pid, CrashController* crash,
@@ -127,14 +69,18 @@ inline void CpuRelax() {
 /// iteration count: a short pure-spin window with exponentially growing
 /// `CpuRelax` bursts (cheap when the wait is tens of cycles), then OS
 /// yields so oversubscribed runs make progress. Throws RunAborted if a
-/// global abort has been requested. Under the deterministic simulator,
-/// yields to the fiber scheduler instead.
+/// global abort has been requested (checked every few yields, not every
+/// one). Under the deterministic simulator, yields to the fiber scheduler
+/// instead. Callers pass a per-wait iteration counter that grows without
+/// bound (`SpinPause(iter++)`), which the staging and the abort-check
+/// period rely on.
 void SpinPause(uint64_t iteration);
 
 /// Fiber-scheduler integration (sim/fiber_sim): when a hook is installed
 /// on the calling thread, every instrumented shared-memory operation and
 /// every SpinPause yields through it. The hook may throw (RunAborted) to
-/// unwind a stuck fiber.
+/// unwind a stuck fiber. Installing/clearing the hook maintains the
+/// calling context's kSimHook fast-flag.
 using SimYieldHook = void (*)(void* arg);
 void SetSimYieldHook(SimYieldHook hook, void* arg);
 /// Invokes the hook if one is installed (called by the instrumentation).

@@ -15,6 +15,15 @@
 // std::atomic's, so the locks are genuinely concurrent — the accounting
 // rides along, it does not serialize anything.
 //
+// PROBE ANATOMY (DESIGN.md §9): one instrumented op is one fused
+// OpProbe — a single thread-local ProcessContext resolution threaded
+// through the pre-op probe, the CC/DSM accounting, and the post-op
+// probe. The all-default path (bound, no crash controller, no sim hook,
+// no mirror, non-strict CC) is decided by testing one packed
+// `fast_flags` word; everything rare (crash-policy consultation, fiber
+// yield, clock-block refill, config reads) lives out of line in
+// crash.cpp / counters.cpp.
+//
 // NATIVE MODE: compiling with -DRME_NATIVE_ATOMICS strips every probe —
 // Atomic<T> becomes a thin std::atomic wrapper with the same API (sites
 // ignored, no RMR counting, no crash injection). The identical lock
@@ -29,7 +38,22 @@
 
 #include "util/assert.hpp"
 
+#if defined(__SANITIZE_THREAD__)
+#define RME_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RME_TSAN 1
+#endif
+#endif
+
+#if defined(__x86_64__) && defined(__SSE2__) && !defined(RME_TSAN)
+#define RME_MIRROR_SSE_FLUSH 1
+#include <emmintrin.h>
+#endif
+
 namespace rme {
+
+class CrashController;  // crash/crash.hpp
 
 /// Maximum number of simulated processes (bitmask-bound).
 inline constexpr int kMaxProcs = 64;
@@ -64,22 +88,41 @@ struct OpCounters {
 /// Kill-survivable mirror of one process's OpCounters. Lives in shared
 /// memory (the fork harness embeds one per pid in ShmControl) so the
 /// counts outlive a SIGKILLed owner. Cache-line aligned and written only
-/// by the owning process (relaxed stores on its own line); readers — the
-/// fork-harness parent, post-mortem scans — see a value at most one
-/// in-flight operation behind the owner's private counters.
+/// by the owning process on its own line.
+///
+/// Packed-commit layout: cc_rmrs/dsm_rmrs sit in one 16-byte-aligned
+/// pair the flush writes first (a single vector store on x86-64), and
+/// `ops` is the last-written commit word. A SIGKILL between the two
+/// stores leaves `ops` one op behind cc/dsm — readers that treat `ops`
+/// as the commit point (Snapshot loads it first) still see each field at
+/// most one in-flight operation behind the owner's private counters, and
+/// every field stays monotone.
 struct alignas(kCacheLineBytes) SharedOpCounters {
-  std::atomic<uint64_t> ops{0};
-  std::atomic<uint64_t> cc_rmrs{0};
+  alignas(16) std::atomic<uint64_t> cc_rmrs{0};
   std::atomic<uint64_t> dsm_rmrs{0};
+  std::atomic<uint64_t> ops{0};  ///< commit word; flushed last (release)
 
   OpCounters Snapshot() const {
-    return {ops.load(std::memory_order_relaxed),
-            cc_rmrs.load(std::memory_order_relaxed),
-            dsm_rmrs.load(std::memory_order_relaxed)};
+    OpCounters c;
+    // ops first (acquire pairs with the flush's release), so the pair is
+    // read at least as new as the ops value. A flush torn by SIGKILL can
+    // leave the pair one op AHEAD of the commit word; each op adds at
+    // most 1 per model, so clamping to `ops` discards exactly the
+    // uncommitted op's contribution and restores the reader invariants
+    // (cc_rmrs <= ops, dsm_rmrs <= ops). All three words are monotone,
+    // so the clamped view is monotone too.
+    c.ops = ops.load(std::memory_order_acquire);
+    c.cc_rmrs = cc_rmrs.load(std::memory_order_relaxed);
+    c.dsm_rmrs = dsm_rmrs.load(std::memory_order_relaxed);
+    if (c.cc_rmrs > c.ops) c.cc_rmrs = c.ops;
+    if (c.dsm_rmrs > c.ops) c.dsm_rmrs = c.ops;
+    return c;
   }
 };
 
-/// Global knobs for the memory model (set once before an experiment).
+/// Global knobs for the memory model (set once before an experiment;
+/// `cc_strict` is cached into each binding's fast_flags, so mutating it
+/// while any ProcessBinding is live is a bug — debug builds assert).
 struct MemoryModelConfig {
   /// If true, a writer does NOT retain a valid cached copy after writing
   /// (strict-invalidation ablation; see DESIGN.md §5).
@@ -96,6 +139,110 @@ struct MemoryModelConfig {
 
 MemoryModelConfig& memory_model_config();
 
+/// Per-process (thread-local) execution context: process id, RMR
+/// counters, and the crash controller consulted on every shared-memory
+/// operation. The harness installs one per worker thread (ProcessBinding
+/// in counters.hpp); lock code never touches this directly — it flows
+/// through rmr::Atomic instrumentation.
+///
+/// Layout: the first cache line holds exactly the fields the
+/// instrumentation touches on every shared-memory operation (hot); the
+/// diagnostic fields the stall watchdog polls from its own thread live on
+/// a separate line (cold), so watchdog reads never steal the owner's hot
+/// line. The struct stays copyable (hand-written, since last_site is an
+/// atomic): the fiber simulator swaps whole images in and out of the
+/// thread-local slot, always from the owning thread, so relaxed copies of
+/// last_site are race-free.
+struct alignas(kCacheLineBytes) ProcessContext {
+  /// fast_flags bits: everything the per-op probe needs to know to take
+  /// its fast path, packed so the all-default case is one test.
+  enum : uint32_t {
+    kBound = 1u << 0,     ///< pid != kMemoryNode (accounting active)
+    kHasCrash = 1u << 1,  ///< crash != nullptr AND bound (consult policy)
+    kSimHook = 1u << 2,   ///< thread has a fiber-sim yield hook installed
+    kHasMirror = 1u << 3, ///< mirror != nullptr (flush every op)
+    kCcStrict = 1u << 4,  ///< memory_model_config().cc_strict at bind time
+  };
+  /// Union of kPreSlowMask bits ⇒ the pre-op probe must go out of line.
+  static constexpr uint32_t kPreSlowMask = kSimHook | kHasCrash;
+
+  // --- hot: written by the owner on every instrumented op ---
+  uint32_t fast_flags = 0;
+  int pid = kMemoryNode;          ///< process id in [0, n); kMemoryNode = unbound
+  /// Consulted on every shared-memory op when kHasCrash is set. Always
+  /// mutate through SetCrashController (or ProcessBinding) so fast_flags
+  /// stays in sync — a direct store leaves the probe's cached bit stale.
+  CrashController* crash = nullptr;
+  /// Sharded logical clock: next unissued tick / exclusive end of the
+  /// block this context reserved from the global counter. next == end
+  /// means "no block"; the next tick reserves a fresh block.
+  uint64_t clock_next = 0;
+  uint64_t clock_end = 0;
+  OpCounters counters;            ///< cumulative counts for this thread
+  /// Optional segment-resident mirror slot (fork harness): when non-null,
+  /// every instrumented op ends with a packed flush of `counters` into
+  /// it, so the counts survive a SIGKILL of this process losing at most
+  /// the one in-flight op. The slot is this process's own cache line —
+  /// the stores never contend with other processes' accounting.
+  SharedOpCounters* mirror = nullptr;
+
+  // --- cold: polled cross-thread by the stall watchdog ---
+  /// Site label of the most recent shared-memory operation. Diagnostic:
+  /// the harness watchdog prints it on a stall, which pinpoints the spin
+  /// loop a stuck process is in. Atomic (relaxed) because the watchdog
+  /// thread reads it concurrently with the owner's writes; the payload is
+  /// always a string literal, so a relaxed pointer exchange is safe.
+  alignas(kCacheLineBytes) std::atomic<const char*> last_site{""};
+  /// counters.ops as of the most recent operation's pre-op probe; kept
+  /// beside last_site (same cold line, same relaxed discipline) so the
+  /// watchdog can report per-process op counts without racing on the
+  /// hot-path OpCounters fields.
+  std::atomic<uint64_t> ops_snapshot{0};
+
+  /// Installs/clears the crash controller, keeping the probe's cached
+  /// kHasCrash bit in sync (it mirrors the old `crash == nullptr ||
+  /// pid == kMemoryNode` skip, resolved once instead of per op).
+  void SetCrashController(CrashController* c) {
+    crash = c;
+    if (c != nullptr && pid != kMemoryNode) {
+      fast_flags |= kHasCrash;
+    } else {
+      fast_flags &= ~kHasCrash;
+    }
+  }
+
+  constexpr ProcessContext() = default;
+  ProcessContext(const ProcessContext& o) { *this = o; }
+  ProcessContext& operator=(const ProcessContext& o) {
+    if (this == &o) return *this;
+    fast_flags = o.fast_flags;
+    pid = o.pid;
+    crash = o.crash;
+    clock_next = o.clock_next;
+    clock_end = o.clock_end;
+    counters = o.counters;
+    mirror = o.mirror;
+    last_site.store(o.last_site.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    ops_snapshot.store(o.ops_snapshot.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+namespace rmr_detail {
+/// The calling thread's context. Defined in counters.cpp; constinit, so
+/// cross-TU access is a plain TLS address computation with no init-guard
+/// call — this is the single TLS resolution one instrumented op pays.
+extern constinit thread_local ProcessContext g_tls_context;
+}  // namespace rmr_detail
+
+/// The context bound to the calling thread (a default, unbound context is
+/// provided so library code also works on non-harness threads).
+inline ProcessContext& CurrentProcess() noexcept {
+  return rmr_detail::g_tls_context;
+}
+
 /// Monotonic logical clock, advanced on every shared-memory operation.
 /// Failure timestamps and consequence intervals are expressed in it.
 ///
@@ -103,10 +250,30 @@ MemoryModelConfig& memory_model_config();
 /// MemoryModelConfig::clock_block). LogicalNow() reads the global
 /// reservation frontier — an upper bound on every tick issued so far and
 /// a lower bound on every tick issued later, i.e. exact to within one
-/// block per thread. AdvanceLogicalClock() returns the caller's next
-/// tick: globally unique, strictly increasing per thread.
+/// block per thread.
 uint64_t LogicalNow();
-uint64_t AdvanceLogicalClock();
+
+namespace rmr_detail {
+/// Reserves the next clock_block ticks from the global frontier into
+/// `ctx` (out of line: touches the one globally contended word, once per
+/// clock_block ops per thread).
+void RefillClockBlock(ProcessContext& ctx);
+
+/// Issues the caller's next tick: globally unique, strictly increasing
+/// per thread. Inline fast path; block refill stays out of line.
+inline uint64_t NextTick(ProcessContext& ctx) {
+  if (ctx.clock_next == ctx.clock_end) [[unlikely]] {
+    RefillClockBlock(ctx);
+  }
+  return ++ctx.clock_next;
+}
+}  // namespace rmr_detail
+
+/// The caller's next tick (see NextTick). Public wrapper for tests and
+/// non-probe clock consumers.
+inline uint64_t AdvanceLogicalClock() {
+  return rmr_detail::NextTick(CurrentProcess());
+}
 
 /// The last tick issued to the *calling thread* (0 before its first op).
 /// Unlike LogicalNow() — which reads the global reservation frontier and
@@ -117,18 +284,145 @@ uint64_t AdvanceLogicalClock();
 /// threads it is comparable at block granularity, which clock sharding
 /// already makes the best obtainable order (DESIGN.md §9). With
 /// clock_block == 1 it coincides with the seed's per-op global clock.
-uint64_t LogicalTick();
+inline uint64_t LogicalTick() { return CurrentProcess().clock_next; }
 
 namespace rmr_detail {
 
-// Forward-declared crash hook, implemented in crash/crash.cpp. Called
-// around every shared-memory operation; may throw ProcessCrash.
-void MaybeCrash(const char* site, bool after_op);
+// Slow halves of the per-op probe, implemented in crash/crash.cpp. Both
+// may throw ProcessCrash; PreSlow additionally runs the fiber-sim yield
+// point. Only reached when the corresponding fast_flags bits are set.
+void ProbePreSlow(ProcessContext& ctx, const char* site);
+void ProbePostSlow(ProcessContext& ctx, const char* site);
 
-// Accounting helpers; implemented inline below against the thread-local
-// process context (declared in counters.hpp, defined in counters.cpp).
-void CountRead(int home, std::atomic<uint64_t>& cc_mask);
-void CountWrite(int home, std::atomic<uint64_t>& cc_mask);
+/// First half of the mirror flush: the cc/dsm pair, one 16-byte store on
+/// x86-64 (the pair is 16-aligned inside the owner's own cache line, so
+/// each 8-byte half lands whole; cross-process readers only need the
+/// halves, not the pair, to be untorn). Elsewhere — and under TSan,
+/// which cannot see through a vector store to the atomics it covers —
+/// two relaxed stores.
+///
+/// Takes the values, not the OpCounters: the callers just incremented
+/// these in registers, and passing the struct makes the compiler emit a
+/// 16-byte reload of the pair straight after the 8-byte counter stores —
+/// a store-forwarding-failure stall on every mirrored op (~15 cycles,
+/// measured: it alone pushed the mirrored ratio from ~1.8x to ~2.3x).
+/// From register values this is two reg→xmm moves and the store.
+inline void FlushMirrorRmrs(SharedOpCounters* m, uint64_t cc, uint64_t dsm) {
+#ifdef RME_MIRROR_SSE_FLUSH
+  static_assert(offsetof(SharedOpCounters, dsm_rmrs) ==
+                    offsetof(SharedOpCounters, cc_rmrs) + 8,
+                "packed flush needs the cc/dsm pair contiguous");
+  _mm_store_si128(reinterpret_cast<__m128i*>(&m->cc_rmrs),
+                  _mm_set_epi64x(static_cast<long long>(dsm),
+                                 static_cast<long long>(cc)));
+#else
+  m->cc_rmrs.store(cc, std::memory_order_relaxed);
+  m->dsm_rmrs.store(dsm, std::memory_order_relaxed);
+#endif
+}
+
+/// Second half: `ops` is the commit word (release pairs with
+/// Snapshot's acquire). A SIGKILL between the halves loses at most the
+/// one in-flight op — shm_crash_test pins exactly this window.
+inline void FlushMirrorCommit(SharedOpCounters* m, uint64_t ops) {
+  m->ops.store(ops, std::memory_order_release);
+}
+
+/// Flushes the private counters into the segment-resident slot: pair
+/// first, commit word last, everything on the owner's own cache line.
+inline void FlushMirror(ProcessContext& ctx) {
+  FlushMirrorRmrs(ctx.mirror, ctx.counters.cc_rmrs, ctx.counters.dsm_rmrs);
+  FlushMirrorCommit(ctx.mirror, ctx.counters.ops);
+}
+
+/// One fused per-op probe: resolves the thread-local ProcessContext
+/// once and threads it through the pre-op probe, the accounting, and the
+/// post-op probe. Replaces the seed's five dispersed pieces (two
+/// MaybeCrash calls, CountRead/CountWrite, AdvanceLogicalClock), each of
+/// which re-resolved the TLS context across TU boundaries.
+class OpProbe {
+ public:
+  explicit OpProbe(const char* site)
+      : ctx_(CurrentProcess()), site_(site) {
+    // Stall diagnostics: relaxed stores on the context's cold line; the
+    // harness watchdog reads them from its own thread. ops_snapshot is
+    // the count as of *before* this op, matching the seed's pre-op probe.
+    ctx_.last_site.store(site, std::memory_order_relaxed);
+    ctx_.ops_snapshot.store(ctx_.counters.ops, std::memory_order_relaxed);
+    if (ctx_.fast_flags & ProcessContext::kPreSlowMask) [[unlikely]] {
+      ProbePreSlow(ctx_, site);  // fiber yield + crash consult; may throw
+    }
+  }
+
+  // CountRead/CountWrite keep the updated counter values in locals and
+  // hand those (registers) to the mirror flush — see FlushMirrorRmrs for
+  // why re-reading ctx_.counters there stalls.
+
+  /// CC/DSM accounting for an instrumented read (issued before the op).
+  void CountRead(int home, std::atomic<uint64_t>& cc_mask) {
+    NextTick(ctx_);
+    OpCounters& c = ctx_.counters;
+    const uint64_t ops = c.ops + 1;
+    c.ops = ops;
+    const uint32_t flags = ctx_.fast_flags;
+    if (!(flags & ProcessContext::kBound)) return;  // no accounting
+    const uint64_t bit = uint64_t{1} << ctx_.pid;
+    // CC: hit iff we hold a valid copy; miss installs one.
+    uint64_t cc = c.cc_rmrs;
+    if ((cc_mask.load(std::memory_order_relaxed) & bit) == 0) {
+      c.cc_rmrs = ++cc;
+      cc_mask.fetch_or(bit, std::memory_order_relaxed);
+    }
+    // DSM: remote iff the variable is homed elsewhere.
+    uint64_t dsm = c.dsm_rmrs;
+    if (home != ctx_.pid) c.dsm_rmrs = ++dsm;
+    // No [[unlikely]]: mirror-bound processes (every fork-harness child)
+    // take this branch on every op; pushing the flush into a cold
+    // section costs them a taken jump + icache miss per op.
+    if (flags & ProcessContext::kHasMirror) {
+      SharedOpCounters* m = ctx_.mirror;
+      FlushMirrorRmrs(m, cc, dsm);
+      FlushMirrorCommit(m, ops);
+    }
+  }
+
+  /// CC/DSM accounting for an instrumented write/RMW.
+  void CountWrite(int home, std::atomic<uint64_t>& cc_mask) {
+    NextTick(ctx_);
+    OpCounters& c = ctx_.counters;
+    const uint64_t ops = c.ops + 1;
+    c.ops = ops;
+    const uint32_t flags = ctx_.fast_flags;
+    if (!(flags & ProcessContext::kBound)) return;
+    const uint64_t bit = uint64_t{1} << ctx_.pid;
+    // CC: every write/RMW goes to memory and invalidates other copies.
+    // cc_strict (writer retains no copy) is cached in fast_flags at bind
+    // time — the config's function-local-static guard is off the hot path.
+    const uint64_t cc = c.cc_rmrs + 1;
+    c.cc_rmrs = cc;
+    cc_mask.store((flags & ProcessContext::kCcStrict) ? 0 : bit,
+                  std::memory_order_relaxed);
+    uint64_t dsm = c.dsm_rmrs;
+    if (home != ctx_.pid) c.dsm_rmrs = ++dsm;
+    if (flags & ProcessContext::kHasMirror) {
+      SharedOpCounters* m = ctx_.mirror;
+      FlushMirrorRmrs(m, cc, dsm);
+      FlushMirrorCommit(m, ops);
+    }
+  }
+
+  /// Post-op probe ("crash immediately after the instruction"); call
+  /// after the atomic op's effect is applied. May throw.
+  void Done() {
+    if (ctx_.fast_flags & ProcessContext::kHasCrash) [[unlikely]] {
+      ProbePostSlow(ctx_, site_);
+    }
+  }
+
+ private:
+  ProcessContext& ctx_;
+  const char* site_;
+};
 
 }  // namespace rmr_detail
 
@@ -205,19 +499,19 @@ class alignas(kCacheLineBytes) Atomic {
 #else
   /// Instrumented read.
   T Load(const char* site = "load") const {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountRead(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountRead(home_, cc_mask_);
     T v = value_.load(std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return v;
   }
 
   /// Instrumented write.
   void Store(T v, const char* site = "store") {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     value_.store(v, std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
   }
 
   /// Instrumented fetch-and-store (the paper's FAS).
@@ -226,21 +520,21 @@ class alignas(kCacheLineBytes) Atomic {
   /// instruction: the exchange took effect in shared memory but the
   /// return value is lost with the crashing process's private state.
   T Exchange(T v, const char* site = "fas") {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     T old = value_.exchange(v, std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return old;
   }
 
   /// Instrumented compare-and-swap (the paper's CAS). Returns true iff the
   /// value was changed from `expected` to `desired`.
   bool CompareExchange(T expected, T desired, const char* site = "cas") {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     bool ok = value_.compare_exchange_strong(expected, desired,
                                              std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return ok;
   }
 
@@ -248,10 +542,10 @@ class alignas(kCacheLineBytes) Atomic {
   T FetchOr(T bits, const char* site = "faor")
     requires std::is_integral_v<T>
   {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_or(bits, std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return old;
   }
 
@@ -259,10 +553,10 @@ class alignas(kCacheLineBytes) Atomic {
   T FetchAnd(T bits, const char* site = "faand")
     requires std::is_integral_v<T>
   {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_and(bits, std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return old;
   }
 
@@ -270,10 +564,10 @@ class alignas(kCacheLineBytes) Atomic {
   T FetchAdd(T delta, const char* site = "faa")
     requires std::is_integral_v<T>
   {
-    rmr_detail::MaybeCrash(site, /*after_op=*/false);
-    rmr_detail::CountWrite(home_, cc_mask_);
+    rmr_detail::OpProbe probe(site);
+    probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_add(delta, std::memory_order_seq_cst);
-    rmr_detail::MaybeCrash(site, /*after_op=*/true);
+    probe.Done();
     return old;
   }
 #endif  // RME_NATIVE_ATOMICS

@@ -138,7 +138,7 @@ using shm::ShmEvent;
   }
 
   // Graceful shutdown: no injection while releasing leftover resources.
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   lock->OnProcessDone(pid);
   AppendEvent(ctl, EventKind::kDone, pid,
               me.done.load(std::memory_order_relaxed), cnt);

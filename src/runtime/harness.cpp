@@ -147,7 +147,7 @@ RunResult RunWorkload(RecoverableLock& lock, const WorkloadConfig& cfg,
     }
 
     // Graceful shutdown: no injection while releasing leftover resources.
-    ctx.crash = nullptr;
+    ctx.SetCrashController(nullptr);
     try {
       lock.OnProcessDone(pid);
     } catch (const RunAborted&) {

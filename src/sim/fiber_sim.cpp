@@ -65,6 +65,10 @@ void Trampoline() {
   const int index = sched->current;
   Fiber& me = sched->fibers[static_cast<size_t>(index)];
   CurrentProcess() = ProcessContext{};  // fresh image for this fiber
+  // The fresh image must still route every instrumented op through
+  // FiberYield (the hook is installed thread-wide for the whole run, and
+  // the yield must fire even on ops issued before the fiber binds).
+  CurrentProcess().fast_flags |= ProcessContext::kSimHook;
   try {
     (*sched->body)(me.pid);
   } catch (const RunAborted&) {

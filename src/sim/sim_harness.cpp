@@ -59,7 +59,7 @@ SimResult RunSimWorkload(RecoverableLock& lock, const SimWorkloadConfig& cfg,
       ++done;
       completed.fetch_add(1, std::memory_order_relaxed);
     }
-    ctx.crash = nullptr;
+    ctx.SetCrashController(nullptr);
     lock.OnProcessDone(pid);
   };
 

@@ -32,6 +32,8 @@ namespace rme::detail {
 
 #ifdef NDEBUG
 #define RME_DCHECK(expr) ((void)0)
+#define RME_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define RME_DCHECK(expr) RME_CHECK(expr)
+#define RME_DCHECK_MSG(expr, msg) RME_CHECK_MSG(expr, msg)
 #endif

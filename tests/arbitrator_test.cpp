@@ -91,9 +91,9 @@ TEST(Arbitrator, CrashInExitResumesViaRecover) {
   arb.Enter(Side::kRight, 0);
   // Crash on the first Exit op (the Leaving store).
   SiteCrash crash(0, "arbY.op", /*after_op=*/true);
-  CurrentProcess().crash = &crash;
+  CurrentProcess().SetCrashController(&crash);
   EXPECT_THROW(arb.Exit(Side::kRight, 0), ProcessCrash);
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   arb.Recover(Side::kRight, 0);  // finishes the exit
   EXPECT_EQ(arb.ClaimOf(Side::kRight), 0u);
   // Side is reusable afterwards.

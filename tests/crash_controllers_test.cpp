@@ -171,7 +171,7 @@ BatchProbe OpsUntilBatchCrash(uint64_t clock_block) {
   v.FetchAdd(1, "batch.warm");
   const uint64_t base = LogicalTick();
   BatchCrash crash({{base + 500, 1ULL << 0}});
-  CurrentProcess().crash = &crash;
+  CurrentProcess().SetCrashController(&crash);
   BatchProbe probe{0, 0};
   try {
     for (;;) {
@@ -182,7 +182,7 @@ BatchProbe OpsUntilBatchCrash(uint64_t clock_block) {
     EXPECT_EQ(cr.pid, 0);
     probe.ticks_to_crash = cr.time - base;
   }
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   EXPECT_EQ(crash.crashes(), 1u);
   return probe;
 }
@@ -207,7 +207,7 @@ TEST(Controllers, BatchCrashFiresEachBatchMemberOnce) {
   v.FetchAdd(1, "batch.warm");
   const uint64_t base = LogicalTick();
   BatchCrash crash({{base + 3, (1ULL << 1) | (1ULL << 2)}});
-  CurrentProcess().crash = &crash;
+  CurrentProcess().SetCrashController(&crash);
   bool fired = false;
   for (int i = 0; i < 20; ++i) {
     try {
@@ -217,7 +217,7 @@ TEST(Controllers, BatchCrashFiresEachBatchMemberOnce) {
       fired = true;
     }
   }
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   EXPECT_TRUE(fired);
   EXPECT_EQ(crash.crashes(), 1u);  // pid 2 never ran, so only pid 1 fired
 }

@@ -121,7 +121,7 @@ TEST(IterBa, CursorResumesInsteadOfRewalking) {
     SiteCrash divert(1, "iba.L1.filter.tail.fas", /*after_op=*/true);
     NthOpCrash c2(1, 400), c3(1, 800);
     CompositeCrash crash({&divert, &c2, &c3});
-    CurrentProcess().crash = &crash;
+    CurrentProcess().SetCrashController(&crash);
     int post_divert_crashes = 0;
     for (;;) {
       try {
@@ -140,7 +140,7 @@ TEST(IterBa, CursorResumesInsteadOfRewalking) {
     EXPECT_GE(lock->LastPathDepth(1), 2) << "p1 should have escalated";
     lock->Exit(1);
     EXPECT_EQ(lock->CursorOf(1), 0u);
-    CurrentProcess().crash = nullptr;
+    CurrentProcess().SetCrashController(nullptr);
     lock->OnProcessDone(1);
     EXPECT_GE(post_divert_crashes, 2);
   });

@@ -78,7 +78,7 @@ TEST(ScopedPassage, SkipsExitWhenUnwoundByCrash) {
   // The guard must NOT have run Exit: the lock still believes p0 is in
   // its CS (state machine InCS) — exactly the crashed-in-CS situation —
   // and the next passage re-enters via BCSR, then exits cleanly.
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   {
     ScopedPassage passage(*lock, 0);
   }

@@ -34,14 +34,18 @@ TEST(RmrAtomic, CcWriteAlwaysRmrAndKeepsCopy) {
 }
 
 TEST(RmrAtomic, CcStrictModeDropsWriterCopy) {
+  // The config may only change while no binding is live (it is cached
+  // into fast_flags at bind time; the binding dtor asserts this).
   memory_model_config().cc_strict = true;
-  ProcessBinding bind(0, nullptr);
-  rmr::Atomic<uint64_t> v{0};
-  const OpCounters before = CountersNow();
-  v.Store(1);               // RMR
-  EXPECT_EQ(v.Load(), 1u);  // miss under strict invalidation
-  const OpCounters d = CountersNow() - before;
-  EXPECT_EQ(d.cc_rmrs, 2u);
+  {
+    ProcessBinding bind(0, nullptr);
+    rmr::Atomic<uint64_t> v{0};
+    const OpCounters before = CountersNow();
+    v.Store(1);               // RMR
+    EXPECT_EQ(v.Load(), 1u);  // miss under strict invalidation
+    const OpCounters d = CountersNow() - before;
+    EXPECT_EQ(d.cc_rmrs, 2u);
+  }
   memory_model_config().cc_strict = false;
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
 #include "rmr/counters.hpp"
 
 namespace rme {
@@ -50,6 +51,52 @@ TEST(RmrInvariance, SingleThreadedPassagesMatchSeedBitForBit) {
       EXPECT_EQ(d.dsm_rmrs, e.dsm[pass]);
     }
     lock->OnProcessDone(0);
+  }
+}
+
+// The fused probe takes different branches depending on fast_flags
+// (mirror flush, sim-yield hook, crash-controller consult). None of those
+// branches may move a single counted RMR: run the identical seed-pinned
+// schedule through each non-default mode and demand the kSeed constants.
+TEST(RmrInvariance, CountsIdenticalAcrossProbeModes) {
+  enum Mode { kMirrorOn, kSimHookOn, kCrashControllerOn };
+  for (Mode mode : {kMirrorOn, kSimHookOn, kCrashControllerOn}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    if (mode == kSimHookOn) {
+      // A no-op hook still routes every op through the pre-probe slow
+      // path, which must yield-then-count exactly like the fast path.
+      SetSimYieldHook([](void*) {}, nullptr);
+    }
+    NeverCrash never;
+    for (const Expected& e : kSeed) {
+      SCOPED_TRACE(e.lock);
+      SharedOpCounters slot;  // fresh (zero) mirror per lock
+      auto lock = MakeLock(e.lock, 4);
+      ProcessBinding bind(0, mode == kCrashControllerOn ? &never : nullptr,
+                          mode == kMirrorOn ? &slot : nullptr);
+      ProcessContext& ctx = CurrentProcess();
+      for (int pass = 0; pass < 3; ++pass) {
+        SCOPED_TRACE(pass);
+        const OpCounters s0 = ctx.counters;
+        lock->Recover(0);
+        lock->Enter(0);
+        lock->Exit(0);
+        const OpCounters d = ctx.counters - s0;
+        EXPECT_EQ(d.ops, e.ops[pass]);
+        EXPECT_EQ(d.cc_rmrs, e.cc[pass]);
+        EXPECT_EQ(d.dsm_rmrs, e.dsm[pass]);
+        if (mode == kMirrorOn) {
+          // The packed flush runs on every op: the slot must already
+          // equal the private counters with no op still in flight.
+          const OpCounters m = slot.Snapshot();
+          EXPECT_EQ(m.ops, ctx.counters.ops);
+          EXPECT_EQ(m.cc_rmrs, ctx.counters.cc_rmrs);
+          EXPECT_EQ(m.dsm_rmrs, ctx.counters.dsm_rmrs);
+        }
+      }
+      lock->OnProcessDone(0);
+    }
+    if (mode == kSimHookOn) SetSimYieldHook(nullptr, nullptr);
   }
 }
 

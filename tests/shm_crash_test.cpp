@@ -4,13 +4,18 @@
 // sequentially on the main thread; nothing here spawns threads).
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
 #include <vector>
 
 #include "core/lock_registry.hpp"
 #include "locks/lock.hpp"
+#include "rmr/counters.hpp"
 #include "rmr/memory_model.hpp"
 #include "runtime/fork_harness.hpp"
 #include "shm/shm_layout.hpp"
@@ -300,6 +305,78 @@ TEST(ForkHarness, KillInsideExitBracketWindowStillReleasesTheLoggedCs) {
   EXPECT_EQ(r.counter_regressions, 0u);
   EXPECT_EQ(r.me_violations, 0u);
   EXPECT_EQ(r.bcsr_violations, 0u);
+}
+
+TEST(ForkHarness, KillBetweenPackedMirrorStoresLosesAtMostOneOp) {
+  // The packed flush is two stores: the cc/dsm pair, then the `ops`
+  // commit word. A SIGKILL can only land between them when it arrives
+  // asynchronously (parent-side kills; self-kills fire at op probes,
+  // i.e. after a completed flush), so no crash controller can pin this
+  // window — the child reproduces it by hand: bump the private counters
+  // as the next op would, flush only the first half, die.
+  constexpr uint64_t kOps = 7;
+  auto* slot = static_cast<SharedOpCounters*>(
+      mmap(nullptr, sizeof(SharedOpCounters), PROT_READ | PROT_WRITE,
+           MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  ASSERT_NE(slot, MAP_FAILED);
+  new (slot) SharedOpCounters();
+
+  pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ProcessBinding bind(0, nullptr, slot);
+    // Default home (kMemoryNode) and a never-shared variable: every
+    // FetchAdd counts 1 op, 1 CC RMR, 1 DSM RMR — slot is {k, k, k}.
+    rmr::Atomic<uint64_t> v;
+    for (uint64_t i = 0; i < kOps; ++i) v.FetchAdd(1, "torn.op");
+    ProcessContext& ctx = CurrentProcess();
+    ++ctx.counters.ops;
+    ++ctx.counters.cc_rmrs;
+    ++ctx.counters.dsm_rmrs;
+    rmr_detail::FlushMirrorRmrs(ctx.mirror, ctx.counters.cc_rmrs,
+                                ctx.counters.dsm_rmrs);
+    raise(SIGKILL);  // dies before FlushMirrorCommit
+    _exit(1);        // unreachable
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // Raw slot: the pair landed one op ahead of the commit word.
+  EXPECT_EQ(slot->ops.load(), kOps);
+  EXPECT_EQ(slot->cc_rmrs.load(), kOps + 1);
+  EXPECT_EQ(slot->dsm_rmrs.load(), kOps + 1);
+  // Committed view: Snapshot clamps the pair to the commit word, so the
+  // torn flush costs exactly the one in-flight op and the reader
+  // invariants (ops >= cc_rmrs, ops >= dsm_rmrs) hold throughout.
+  const OpCounters torn = slot->Snapshot();
+  EXPECT_EQ(torn.ops, kOps);
+  EXPECT_EQ(torn.cc_rmrs, kOps);
+  EXPECT_EQ(torn.dsm_rmrs, kOps);
+
+  // Respawn: the binding seeds from the committed view and keeps the
+  // slot cumulative and monotone — one more op fully committed repairs
+  // the torn tail.
+  pid_t respawn = fork();
+  ASSERT_GE(respawn, 0);
+  if (respawn == 0) {
+    {
+      ProcessBinding bind(0, nullptr, slot);
+      rmr::Atomic<uint64_t> v;
+      v.FetchAdd(1, "torn.resume");
+    }
+    _exit(0);
+  }
+  ASSERT_EQ(waitpid(respawn, &status, 0), respawn);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+  const OpCounters healed = slot->Snapshot();
+  EXPECT_EQ(healed.ops, kOps + 1);
+  EXPECT_EQ(healed.cc_rmrs, kOps + 1);
+  EXPECT_EQ(healed.dsm_rmrs, kOps + 1);
+
+  munmap(slot, sizeof(SharedOpCounters));
 }
 
 TEST(ForkHarness, MirroringOffRestoresNoRmrMode) {

@@ -146,9 +146,9 @@ TEST(WrLock, CrashDuringExitResumesViaRecover) {
   lock.Recover(0);
   lock.Enter(0);
   // Crash on the first Exit op (the state store to Leaving).
-  CurrentProcess().crash = &crash;
+  CurrentProcess().SetCrashController(&crash);
   EXPECT_THROW(lock.Exit(0), ProcessCrash);
-  CurrentProcess().crash = nullptr;
+  CurrentProcess().SetCrashController(nullptr);
   EXPECT_EQ(lock.StateOf(0), WrLock::kLeaving);
   lock.Recover(0);  // finishes the Exit, then re-initializes
   EXPECT_EQ(lock.StateOf(0), WrLock::kInitializing);

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the instrumentation probe (CI perf-smoke job).
+
+Compares a fresh bench_instr_overhead run (raw google-benchmark JSON from
+--benchmark_out) against the committed BENCH_instr_overhead.json snapshot
+and fails if the single-thread instr_over_native ratio regressed by more
+than --tolerance (relative). The gate runs on the ratio, not absolute
+nanoseconds, so it is insensitive to the runner's clock speed; only the
+uncontended single-thread ratio is gated because the multi-thread points
+on shared CI runners are too noisy to gate at 15%.
+
+Usage:
+  check_overhead_regression.py fresh.json \
+      [--snapshot BENCH_instr_overhead.json] [--tolerance 0.15]
+"""
+import argparse
+import json
+import sys
+
+
+def per_iter_time(doc, family, threads):
+    for b in doc["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        if name.startswith(f"{family}/") and f"/threads:{threads}" in name:
+            return b["real_time"]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="raw JSON from bench_instr_overhead")
+    ap.add_argument("--snapshot", default="BENCH_instr_overhead.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max allowed relative regression (default 0.15)")
+    ap.add_argument("--threads", type=int, default=1)
+    args = ap.parse_args()
+
+    fresh = json.load(open(args.fresh))
+    snap = json.load(open(args.snapshot))
+
+    native = per_iter_time(fresh, "native_fetch_add", args.threads)
+    instr = per_iter_time(fresh, "instr_fetch_add", args.threads)
+    if not native or not instr:
+        print("FAIL: fresh run is missing the native/instr fetch_add series")
+        return 2
+
+    ratio = instr / native
+    committed = snap["overhead_ratio_by_threads"][str(args.threads)][
+        "instr_over_native"]
+    limit = committed * (1.0 + args.tolerance)
+    verdict = "OK" if ratio <= limit else "FAIL"
+    print(f"{verdict}: instr_over_native@{args.threads}t = {ratio:.2f} "
+          f"(fresh {instr:.1f}ns / {native:.1f}ns), committed {committed:.2f}, "
+          f"limit {limit:.2f} (+{args.tolerance:.0%})")
+    return 0 if ratio <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,9 @@
 #    conditioned on overlapping SIGKILLs, straight from the bench's
 #    --json_out.
 # Usage: tools/make_bench_json.sh [build-dir] (default: build)
+# Snapshots are taken from a Release(+LTO) build of the given dir:
+#   cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release && \
+#   cmake --build build-rel -j && tools/make_bench_json.sh build-rel
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -44,6 +47,12 @@ for t in (1, 4, 8, 16):
     instr = time_of(overhead, "instr_fetch_add", t)
     mirrored = time_of(overhead, "instr_fetch_add_mirrored", t)
     block1 = time_of(overhead, "instr_fetch_add_block1", t)
+    native_load = time_of(overhead, "native_load", t)
+    load_hit = time_of(overhead, "instr_load_hit", t)
+    native_sl = time_of(overhead, "native_store_load", t)
+    load_miss = time_of(overhead, "instr_load_miss", t)
+    native_cs = time_of(overhead, "native_cs_mix", t)
+    instr_cs = time_of(overhead, "instr_cs_mix", t)
     if native:
         ratios[str(t)] = {
             "native_ns": round(native, 2),
@@ -54,6 +63,15 @@ for t in (1, 4, 8, 16):
             "mirrored_over_native":
                 round(mirrored / native, 2) if mirrored else None,
             "block1_over_native": round(block1 / native, 2),
+            "load_hit_over_native":
+                round(load_hit / native_load, 2)
+                if load_hit and native_load else None,
+            "load_miss_over_native":
+                round(load_miss / native_sl, 2)
+                if load_miss and native_sl else None,
+            "cs_mix_over_native":
+                round(instr_cs / native_cs, 2)
+                if instr_cs and native_cs else None,
         }
 
 agg = {}
