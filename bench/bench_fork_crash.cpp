@@ -8,11 +8,23 @@
 // cost conditioned on F, the kills overlapping the passage (the Fig. 3
 // x-axis), in both the CC and DSM models.
 //
+// --storm switches to the recovery-storm regime (Thm 5.17 / §7.1): a
+// RecoveryStormCrash controller re-kills the victim pid inside its first
+// `--storm_kills` consecutive Recover() attempts (--storm_victim=-1
+// storms every pid — batch kills mid-recovery). The report adds
+// per-phase kill classification, the max BA level reached vs the
+// x(x-1)/2 failure lower bound, and a starvation gate: every non-victim
+// pid must still complete its full passage quota, with its worst
+// super-passage tabulated in attempts and event-log ticket time.
+//
 // Flags: --n=8 --passages=2000 --seed=42 --independent=100 --batches=20
 //        --batch_size=0 (0 = all n) --self_prob=0.0005 --self_budget=50
 //        --interval_ms=0.5 --locks=wr,tree,... (default: all recoverable)
 //        --report=rmr (adds the RMR-vs-F table and the zero-RMR gate)
 //        --json_out=PATH (writes the RMR report as JSON)
+//        --storm --storm_kills=12 --storm_victim=0 (-1 = all)
+//        --storm_nth=1 (which in-Recover op dies; storm zeroes the other
+//        kill sources unless they are passed explicitly)
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -121,6 +133,20 @@ int BenchMain(int argc, char** argv) {
   const bool report_rmr = cli.GetString("report", "") == "rmr";
   const std::string json_out = cli.GetString("json_out", "");
 
+  const bool storm_mode = cli.GetBool("storm", false);
+  if (storm_mode) {
+    cfg.storm_kills = static_cast<uint64_t>(cli.GetInt("storm_kills", 12));
+    cfg.storm_victim = static_cast<int>(cli.GetInt("storm_victim", 0));
+    cfg.storm_nth_op = static_cast<uint64_t>(cli.GetInt("storm_nth", 1));
+    // The storm is the experiment: other kill sources default off so the
+    // failure count is exactly the storm's (explicit flags still win).
+    if (!cli.Has("independent")) cfg.independent_kills = 0;
+    if (!cli.Has("batches")) cfg.batch_kill_events = 0;
+    if (!cli.Has("self_prob")) cfg.self_kill_per_op = 0.0;
+    if (!cli.Has("self_budget")) cfg.self_kill_budget = 0;
+    if (!cli.Has("passages")) cfg.passages_per_proc = 500;
+  }
+
   std::vector<std::string> locks = RecoverableLockNames();
   if (cli.Has("locks")) locks = SplitNames(cli.GetString("locks", ""));
 
@@ -159,6 +185,67 @@ int BenchMain(int argc, char** argv) {
                    static_cast<unsigned long long>(r.child_errors),
                    r.watchdog_fired ? 1 : 0, r.log_overflow ? 1 : 0);
     }
+    if (r.hangs != 0 || r.watchdog_kills != 0 || r.hung_abandoned != 0) {
+      // No registry lock may ever trip the per-child liveness watchdog:
+      // a hang here is a real livelock, not an injected one.
+      all_clean = false;
+      std::fprintf(stderr,
+                   "ERROR: %s: hangs=%llu watchdog_kills=%llu "
+                   "abandoned=%llu — liveness watchdog fired\n",
+                   name.c_str(), static_cast<unsigned long long>(r.hangs),
+                   static_cast<unsigned long long>(r.watchdog_kills),
+                   static_cast<unsigned long long>(r.hung_abandoned));
+    }
+    if (storm_mode) {
+      const uint64_t expected_storm =
+          cfg.storm_kills *
+          static_cast<uint64_t>(cfg.storm_victim < 0 ? cfg.num_procs : 1);
+      if (r.storm_kills != expected_storm) {
+        all_clean = false;
+        std::fprintf(stderr,
+                     "ERROR: %s: storm delivered %llu kills, wanted %llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(r.storm_kills),
+                     static_cast<unsigned long long>(expected_storm));
+      }
+      if (r.kills_by_phase[static_cast<size_t>(
+              shm::PidPhase::kRecovering)] < r.storm_kills) {
+        all_clean = false;
+        std::fprintf(stderr,
+                     "ERROR: %s: only %llu kills classified as "
+                     "in-recovery, storm delivered %llu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(r.kills_by_phase[
+                         static_cast<size_t>(shm::PidPhase::kRecovering)]),
+                     static_cast<unsigned long long>(r.storm_kills));
+      }
+      // Thm 5.17: reaching BA level x needs >= x(x-1)/2 failures. A lock
+      // that got deeper on fewer kills broke the adaptivity bound.
+      const uint64_t level = static_cast<uint64_t>(r.max_ba_level);
+      if (r.kills < level * (level - 1) / 2) {
+        all_clean = false;
+        std::fprintf(stderr,
+                     "ERROR: %s: reached BA level %llu on %llu kills "
+                     "(< level*(level-1)/2 = %llu) — Thm 5.17 violated\n",
+                     name.c_str(), static_cast<unsigned long long>(level),
+                     static_cast<unsigned long long>(r.kills),
+                     static_cast<unsigned long long>(level * (level - 1) / 2));
+      }
+      // Starvation gate: storming one pid must not stop the others (or,
+      // after the storm budget is spent, the victim) from finishing.
+      for (size_t pid = 0; pid < r.per_pid.size(); ++pid) {
+        if (r.per_pid[pid].done != cfg.passages_per_proc) {
+          all_clean = false;
+          std::fprintf(stderr,
+                       "ERROR: %s: pid %zu finished %llu/%llu passages "
+                       "under the storm — starved\n",
+                       name.c_str(), pid,
+                       static_cast<unsigned long long>(r.per_pid[pid].done),
+                       static_cast<unsigned long long>(
+                           cfg.passages_per_proc));
+        }
+      }
+    }
     if (r.counter_regressions != 0 || r.phantom_crash_notes != 0) {
       all_clean = false;
       std::fprintf(stderr,
@@ -175,6 +262,43 @@ int BenchMain(int argc, char** argv) {
   std::printf("Expected: zero ME/BCSR for every lock; weak locks may show\n"
               "admissible overlaps (inside failure consequence intervals)\n"
               "but strong ones must not overlap at all.\n");
+
+  if (storm_mode) {
+    Table st({"lock", "storm", "ph:rec", "ph:ent", "ph:cs", "ph:exit",
+              "max BA", "x(x-1)/2", "att/pass", "span", "min done"});
+    for (const auto& [name, r] : results) {
+      uint64_t worst_attempts = 0, worst_span = 0;
+      uint64_t min_done = cfg.passages_per_proc;
+      for (const auto& pp : r.per_pid) {
+        worst_attempts = std::max(worst_attempts, pp.max_attempts_per_passage);
+        worst_span = std::max(worst_span, pp.max_passage_ticket_span);
+        min_done = std::min(min_done, pp.done);
+      }
+      const uint64_t level = static_cast<uint64_t>(r.max_ba_level);
+      st.AddRow(
+          {name, Table::Int(r.storm_kills),
+           Table::Int(r.kills_by_phase[static_cast<size_t>(
+               shm::PidPhase::kRecovering)]),
+           Table::Int(r.kills_by_phase[static_cast<size_t>(
+               shm::PidPhase::kEntering)]),
+           Table::Int(
+               r.kills_by_phase[static_cast<size_t>(shm::PidPhase::kCs)]),
+           Table::Int(r.kills_by_phase[static_cast<size_t>(
+               shm::PidPhase::kExiting)]),
+           Table::Int(level), Table::Int(level * (level - 1) / 2),
+           Table::Int(worst_attempts), Table::Int(worst_span),
+           Table::Int(min_done)});
+    }
+    std::printf("\nRecovery storm (victim=%d, %llu kills inside Recover):\n",
+                cfg.storm_victim,
+                static_cast<unsigned long long>(cfg.storm_kills));
+    std::printf("%s\n", st.ToText().c_str());
+    std::printf(
+        "Expected: every storm kill lands in the recovering phase; BA\n"
+        "levels obey kills >= level*(level-1)/2 (Thm 5.17); att/pass for\n"
+        "the victim is storm_kills+1; min done == the full quota (nobody\n"
+        "starves).\n");
+  }
 
   if (report_rmr) {
     // Per-passage RMR conditioned on F = kills overlapping the passage,

@@ -7,6 +7,7 @@
 #include "core/iter_ba_lock.hpp"
 #include "core/sa_lock.hpp"
 #include "locks/gr_adaptive_lock.hpp"
+#include "locks/hang_lock.hpp"
 #include "locks/gr_semi_lock.hpp"
 #include "locks/mcs_lock.hpp"
 #include "locks/ticket_rlock.hpp"
@@ -41,6 +42,12 @@ std::unique_ptr<RecoverableLock> MakeLock(const std::string& name,
     const int m = base->depth();
     return std::make_unique<IterBaLock>(num_procs, m, std::move(base),
                                         /*remember_level=*/name == "ba-iter");
+  }
+  if (name == "hang-sim") {
+    // Test-only: livelocks forever after a crash (fork-harness watchdog
+    // tests). Deliberately absent from the name lists below so registry
+    // sweeps never run it.
+    return std::make_unique<HangSimLock>(num_procs);
   }
   if (name == "ba-tournament") {
     auto base = std::make_unique<TournamentLock>(num_procs, "ba.base");

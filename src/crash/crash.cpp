@@ -144,6 +144,48 @@ bool BatchCrash::ShouldCrash(int pid, const char* site, bool after_op) {
   return false;
 }
 
+/// Harness-level bracket sites around lock->Recover (fork harness).
+inline constexpr const char* kRecoverArmSite = "h.recover.brk";
+inline constexpr const char* kRecoverDisarmSite = "h.recover.done";
+
+RecoveryStormCrash::RecoveryStormCrash(uint64_t pid_mask,
+                                       uint64_t kills_per_pid,
+                                       uint64_t nth_op)
+    : mask_(pid_mask), kills_per_pid_(kills_per_pid),
+      nth_(nth_op == 0 ? 1 : nth_op) {}
+
+bool RecoveryStormCrash::ShouldCrash(int pid, const char* site,
+                                     bool after_op) {
+  if (!after_op || pid < 0 || pid >= kMaxProcs) return false;
+  if ((mask_ & (uint64_t{1} << pid)) == 0) return false;
+  PidState& st = state_[pid];
+  // Compare by content, not pointer: the harness passes literals, but a
+  // literal's address is only stable within one binary image.
+  if (std::strcmp(site, kRecoverArmSite) == 0) {
+    if (st.fired.load(std::memory_order_relaxed) < kills_per_pid_) {
+      st.armed_ops.store(1, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  const uint64_t armed = st.armed_ops.load(std::memory_order_relaxed);
+  if (std::strcmp(site, kRecoverDisarmSite) == 0) {
+    st.armed_ops.store(0, std::memory_order_relaxed);
+    if (armed == 0) return false;
+    // Recover() issued fewer than nth_ ops; fire at the boundary so the
+    // first-k-recoveries-die contract holds for op-free recovery paths.
+    st.fired.fetch_add(1, std::memory_order_relaxed);
+    NoteCrash();
+    return true;
+  }
+  if (armed == 0) return false;
+  st.armed_ops.store(armed + 1, std::memory_order_relaxed);
+  if (armed != nth_) return false;  // armed == n means n-1 ops seen
+  st.armed_ops.store(0, std::memory_order_relaxed);
+  st.fired.fetch_add(1, std::memory_order_relaxed);
+  NoteCrash();
+  return true;
+}
+
 bool CompositeCrash::ShouldCrash(int pid, const char* site, bool after_op) {
   for (CrashController* part : parts_) {
     // The firing leaf already counted itself (NoteCrash); counting here

@@ -161,6 +161,49 @@ class BatchCrash final : public CrashController {
   std::vector<std::atomic<uint64_t>> fired_;
 };
 
+/// Recovery-storm controller (fork harness): re-kills each targeted
+/// process *while it is inside Recover()*, for its first `kills_per_pid`
+/// recovery attempts — deterministically driving the regime of Thm 5.17
+/// (a process must fail >= x(x-1)/2 times to be pushed to BA level x)
+/// and, with every pid in the mask, the §7.1 batch regime where kills
+/// land while earlier recoveries are still in flight.
+///
+/// The harness brackets every lock->Recover(pid) call with two probe
+/// sites: "h.recover.brk" (immediately before) arms the pid, and
+/// "h.recover.done" (immediately after) disarms it. While armed, the
+/// pid's `nth_op`-th instrumented shared-memory operation — i.e. an op
+/// issued *inside* Recover() — fires; if Recover() returns before
+/// issuing nth_op ops, the disarm probe itself fires so the "first k
+/// consecutive recovery attempts all die" contract holds for locks with
+/// op-free recovery paths. Per-pid state is cache-line padded and
+/// atomic, so a segment-resident instance keeps budgets exact across
+/// respawns. Wrap in SigkillCrash for real process death.
+class RecoveryStormCrash final : public CrashController {
+ public:
+  /// `pid_mask` bit i set => process i is a storm victim.
+  RecoveryStormCrash(uint64_t pid_mask, uint64_t kills_per_pid,
+                     uint64_t nth_op = 1);
+
+  bool ShouldCrash(int pid, const char* site, bool after_op) override;
+
+  /// Storm kills delivered to `pid` so far.
+  uint64_t storm_kills(int pid) const {
+    return state_[pid].fired.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t mask_;
+  uint64_t kills_per_pid_;
+  uint64_t nth_;
+  /// Owner-written (each pid only touches its own slot); padded so the
+  /// per-op consult never steals a neighbour's line.
+  struct alignas(kCacheLineBytes) PidState {
+    std::atomic<uint64_t> armed_ops{0};  ///< 0 = disarmed; n = armed, n-1 ops seen
+    std::atomic<uint64_t> fired{0};      ///< storm kills delivered
+  };
+  PidState state_[kMaxProcs];
+};
+
 /// Consults a list of controllers in order. Does not count crashes
 /// itself: the firing leaf does, and crashes() sums the parts (so totals
 /// agree with the harness FailureLog even when controllers are nested).

@@ -1,0 +1,73 @@
+// HangSimLock: a deliberately livelocking test lock for the fork
+// harness's per-child liveness watchdog. NOT part of the lock zoo —
+// MakeLock knows the name "hang-sim" but it is excluded from
+// AllLockNames()/RecoverableLockNames() so sweeps never pick it up.
+//
+// Failure-free behaviour is a trivial CAS spinlock. Once an incarnation
+// of pid dies mid-passage, the *next* incarnation's Recover(pid) first
+// repairs the gate (releases a corpse-held CS so other processes are not
+// strangled by the bug under test) and then spins forever in an
+// uninstrumented loop: no shared-memory ops, no mirror flushes, no
+// attempts progress — exactly the signature the watchdog must detect,
+// dump, and kill. The hang flag is persistent, so every respawn hangs
+// again until the watchdog gives the pid up; the harness must still
+// terminate with a verdict (hangs > 0) instead of stalling.
+#pragma once
+
+#include <ctime>
+#include <string>
+
+#include "locks/lock.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+class HangSimLock final : public RecoverableLock {
+ public:
+  explicit HangSimLock(int num_procs) : n_(num_procs) {
+    RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  }
+
+  void Recover(int pid) override {
+    if (inflight_[pid].Load("hang.inflight.ld") == 0) return;
+    // A previous incarnation died mid-passage. Release its hold first so
+    // the livelock under test strands only this pid, then spin forever —
+    // uninstrumented, so the watchdog sees zero op progress.
+    if (gate_.Load("hang.gate.ld") == static_cast<uint64_t>(pid) + 1) {
+      gate_.Store(0, "hang.gate.repair");
+    }
+    for (;;) {
+      struct timespec ts{0, 1'000'000};  // 1ms: hang politely, not hotly
+      ::nanosleep(&ts, nullptr);
+    }
+  }
+
+  void Enter(int pid) override {
+    inflight_[pid].Store(1, "hang.inflight.set");
+    uint64_t iters = 0;
+    while (!gate_.CompareExchange(0, static_cast<uint64_t>(pid) + 1,
+                                  "hang.gate.cas")) {
+      SpinPause(iters++);
+    }
+  }
+
+  void Exit(int pid) override {
+    gate_.Store(0, "hang.gate.release");
+    inflight_[pid].Store(0, "hang.inflight.clear");
+  }
+
+  std::string name() const override { return "hang-sim"; }
+
+  /// Weak: a pid that died inside the CS never re-enters (its respawn
+  /// livelocks by design), so the strong BCSR obligation cannot be met.
+  bool IsStronglyRecoverable() const override { return false; }
+
+ private:
+  int n_;
+  rmr::Atomic<uint64_t> gate_;
+  rmr::Atomic<uint64_t> inflight_[kMaxProcs];
+};
+
+}  // namespace rme

@@ -29,6 +29,7 @@ namespace {
 using shm::AppendEvent;
 using shm::EventKind;
 using shm::PerPidControl;
+using shm::PidPhase;
 using shm::ShmControl;
 using shm::ShmEvent;
 
@@ -38,10 +39,21 @@ using shm::ShmEvent;
 /// survive a kill lives in the shared segment: the lock's own variables,
 /// the control block, and the per-pid progress words this loop resumes
 /// from after a respawn.
+///
+/// `incarnation` is the value the parent wrote into the pid's slot
+/// immediately before this fork. If the slot has moved on, this child is
+/// a stale respawn the parent has already replaced; it must exit without
+/// binding, so a stale incarnation can never mirror into a live slot.
 [[noreturn]] void ChildMain(RecoverableLock* lock, ShmControl* ctl,
                             rmr::Atomic<uint64_t>* cs_scratch,
                             CrashController* crash, int pid,
+                            uint64_t incarnation,
                             const ForkCrashConfig& cfg) {
+  PerPidControl& me = ctl->per_pid[pid];
+  if (me.incarnation.load(std::memory_order_acquire) != incarnation) {
+    std::_Exit(0);  // stale: the parent respawned past us
+  }
+
   // The child inherits the parent thread's context image; start clean
   // (fresh clock block, no counters) before binding. Binding against the
   // pid's segment slot seeds the counters from whatever the previous
@@ -52,8 +64,25 @@ using shm::ShmEvent;
                       cfg.mirror_counters ? &ctl->pid_counters[pid] : nullptr);
   ProcessContext& ctx = CurrentProcess();
   const OpCounters* cnt = cfg.mirror_counters ? &ctx.counters : nullptr;
-  PerPidControl& me = ctl->per_pid[pid];
-  Prng rng(cfg.seed, static_cast<uint64_t>(pid) + 7777);
+  // Stream derived from (pid, incarnation): a respawn must not replay its
+  // corpse's NCS schedule, and no two incarnations of any pids may share
+  // a stream (SplitMix64 separates any distinct stream ids).
+  Prng rng(cfg.seed,
+           (incarnation << 16) + static_cast<uint64_t>(pid) + 7777);
+
+  // Phase word: owner-published at every Algorithm-1 transition; frozen
+  // by a SIGKILL, so the parent classifies each kill by where it landed
+  // and hang dumps say what the stuck child was doing.
+  auto publish = [&me](PidPhase ph) {
+    me.phase.store(static_cast<uint32_t>(ph), std::memory_order_relaxed);
+  };
+  // Harness-level probe: records the site for hang dumps, then offers
+  // the crash chain a deterministic firing point (the recovery-storm
+  // controller arms on "h.recover.brk" and disarms on "h.recover.done").
+  auto probe = [&](const char* site) {
+    me.last_probe_site.store(site, std::memory_order_relaxed);
+    if (crash != nullptr) (void)crash->ShouldCrash(pid, site, true);
+  };
 
   // A nonzero cs_ticket means our previous incarnation died somewhere in
   // the bracket protocol. The reserved slot's kind word decides exactly
@@ -94,7 +123,12 @@ using shm::ShmEvent;
     }
     me.attempts.fetch_add(1, std::memory_order_relaxed);
 
+    publish(PidPhase::kRecovering);
+    probe("h.recover.brk");
     lock->Recover(pid);
+    probe("h.recover.done");
+
+    publish(PidPhase::kEntering);
     lock->Enter(pid);
 
     // Logged-CS bracket, enter phase: reserve the slot, publish the
@@ -105,7 +139,7 @@ using shm::ShmEvent;
     const uint64_t enter_slot = shm::ReserveEvent(ctl);
     me.cs_ticket.store(shm::EncodeCsTicket(enter_slot, shm::kCsEnterPhase),
                        std::memory_order_release);
-    if (crash != nullptr) (void)crash->ShouldCrash(pid, "h.enter.brk", true);
+    probe("h.enter.brk");
     shm::CommitEvent(ctl, enter_slot, EventKind::kEnter, pid, passage, cnt);
 
     const uint32_t prev = ctl->owner.exchange(static_cast<uint32_t>(pid) + 1,
@@ -113,6 +147,7 @@ using shm::ShmEvent;
     if (prev != 0 && prev != static_cast<uint32_t>(pid) + 1) {
       ctl->cs_overlap_events.fetch_add(1, std::memory_order_relaxed);
     }
+    publish(PidPhase::kCs);
     for (int j = 0; j < cfg.cs_shared_ops; ++j) {
       cs_scratch->FetchAdd(1, "cs.op");
     }
@@ -121,19 +156,27 @@ using shm::ShmEvent;
     // owner word orders our kExit ahead of any later entrant's kEnter in
     // ticket order; flipping the ticket first means a kill before the
     // commit is still classified as dying inside the logged CS.
+    publish(PidPhase::kExiting);
     const uint64_t exit_slot = shm::ReserveEvent(ctl);
     me.cs_ticket.store(shm::EncodeCsTicket(exit_slot, shm::kCsExitPhase),
                        std::memory_order_release);
-    if (crash != nullptr) (void)crash->ShouldCrash(pid, "h.exit.brk", true);
+    probe("h.exit.brk");
     ctl->owner.store(0, std::memory_order_release);
     shm::CommitEvent(ctl, exit_slot, EventKind::kExit, pid, passage, cnt);
     me.cs_ticket.store(0, std::memory_order_release);
 
     lock->Exit(pid);
+    const int depth = lock->LastPathDepth(pid);
+    if (static_cast<uint64_t>(depth) >
+        me.max_level.load(std::memory_order_relaxed)) {
+      me.max_level.store(static_cast<uint64_t>(depth),
+                         std::memory_order_relaxed);
+    }
     AppendEvent(ctl, EventKind::kReqDone, pid, passage, cnt);
     me.req_open.store(0, std::memory_order_relaxed);
     me.done.fetch_add(1, std::memory_order_relaxed);
 
+    publish(PidPhase::kIdle);
     for (int j = 0; j < cfg.ncs_local_work; ++j) (void)rng.Next();
   }
 
@@ -142,6 +185,7 @@ using shm::ShmEvent;
   lock->OnProcessDone(pid);
   AppendEvent(ctl, EventKind::kDone, pid,
               me.done.load(std::memory_order_relaxed), cnt);
+  publish(PidPhase::kIdle);
   me.finished.store(1, std::memory_order_release);
   std::_Exit(0);
 }
@@ -157,6 +201,41 @@ void SleepBriefly() {
   ::nanosleep(&ts, nullptr);
 }
 
+/// Hang diagnostic: everything the parent can see about a flatlined
+/// child, printed before the watchdog SIGKILL so the evidence is not
+/// disturbed by the respawn.
+void DumpHungChild(const ShmControl* ctl, const std::string& lock_name,
+                   int pid, double flat_seconds) {
+  const PerPidControl& pc = ctl->per_pid[pid];
+  const char* site = pc.last_probe_site.load(std::memory_order_relaxed);
+  std::fprintf(
+      stderr,
+      "FORK-HANG: pid %d of '%s' flat for %.2fs: phase=%s inc=%llu "
+      "done=%llu attempts=%llu owner=%u last_probe=%s\n",
+      pid, lock_name.c_str(), flat_seconds,
+      shm::PidPhaseName(pc.phase.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          pc.incarnation.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          pc.done.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          pc.attempts.load(std::memory_order_relaxed)),
+      ctl->owner.load(std::memory_order_relaxed),
+      site != nullptr ? site : "(none)");
+  const uint64_t count = std::min<uint64_t>(
+      ctl->log_next.load(std::memory_order_acquire), ctl->log_cap);
+  const uint64_t from = count > 8 ? count - 8 : 0;
+  for (uint64_t i = from; i < count; ++i) {
+    const ShmEvent& e = ctl->log[i];
+    std::fprintf(
+        stderr, "  log[%llu] %s pid=%u passage=%llu\n",
+        static_cast<unsigned long long>(i),
+        shm::EventKindName(static_cast<EventKind>(
+            e.kind.load(std::memory_order_acquire))),
+        e.pid, static_cast<unsigned long long>(e.passage));
+  }
+}
+
 /// Post-hoc verdicts from the event log. Runs in the parent after every
 /// child is dead or finished, so the log is quiescent.
 struct LogVerdicts {
@@ -169,6 +248,13 @@ struct LogVerdicts {
   std::map<int, ForkRmrBin> rmr_by_overlap;
   uint64_t phantom_crash_notes = 0;
   uint64_t counter_regressions = 0;
+  // Starvation verdicts: worst super-passage per pid, in attempts (1 +
+  // kills that landed inside it) and in event-log ticket time (log slots
+  // between its kReqStart and kReqDone — global progress the pid had to
+  // watch go by). Super-passages still open at scan end (e.g. a pid the
+  // watchdog abandoned) are folded in with the scan end as their close.
+  uint64_t max_attempts_per_passage[kMaxProcs] = {};
+  uint64_t max_passage_span[kMaxProcs] = {};
 };
 
 LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
@@ -176,6 +262,8 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
   uint64_t holders = 0;   // pids currently inside the logged CS region
   uint64_t obliged = 0;   // crashed in CS, owed reentry (strong locks)
   bool req_open[kMaxProcs] = {};
+  uint64_t passage_start_slot[kMaxProcs] = {};
+  uint64_t passage_attempts[kMaxProcs] = {};
 
   // Per-pid counter state for pricing super-passages. `started` guards
   // against the (tiny) window where a kReqStart reservation was killed
@@ -228,6 +316,8 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
     switch (kind) {
       case EventKind::kReqStart:
         req_open[pid] = true;
+        passage_start_slot[pid] = i;
+        passage_attempts[pid] = 1;
         if (with_counters) {
           pp.at_start = now;
           pp.kills_at_start = kills_so_far;
@@ -274,6 +364,10 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
 
       case EventKind::kReqDone:
         req_open[pid] = false;
+        v.max_attempts_per_passage[pid] = std::max(
+            v.max_attempts_per_passage[pid], passage_attempts[pid]);
+        v.max_passage_span[pid] = std::max(
+            v.max_passage_span[pid], i - passage_start_slot[pid]);
         for (Interval& iv : intervals) iv.mask &= ~bit;
         if (with_counters && pp.started && now.ops >= pp.at_start.ops) {
           // Super-passage cost = kReqDone − kReqStart snapshot delta
@@ -296,6 +390,7 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
         break;
 
       case EventKind::kKill: {
+        if (req_open[pid]) ++passage_attempts[pid];
         uint64_t mask = 0;
         for (int j = 0; j < kMaxProcs; ++j) {
           if (req_open[j]) mask |= 1ULL << j;
@@ -324,6 +419,16 @@ LogVerdicts ScanLog(const ShmControl* ctl, bool strong, bool with_counters) {
         break;
     }
   }
+  // Super-passages never closed (a pid the watchdog abandoned, or one
+  // cut off by global shutdown): fold them in with the scan end as the
+  // close, so a starved pid's suffering shows in the verdicts.
+  for (int j = 0; j < kMaxProcs; ++j) {
+    if (!req_open[j]) continue;
+    v.max_attempts_per_passage[j] = std::max(
+        v.max_attempts_per_passage[j], passage_attempts[j]);
+    v.max_passage_span[j] = std::max(
+        v.max_passage_span[j], count - passage_start_slot[j]);
+  }
   return v;
 }
 
@@ -334,6 +439,7 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
   RME_CHECK(cfg.num_procs > 0 && cfg.num_procs <= kMaxProcs);
   RME_CHECK(cfg.passages_per_proc > 0);
   const int n = cfg.num_procs;
+  RME_CHECK(cfg.storm_kills == 0 || cfg.storm_victim < n);
 
   shm::Segment seg(cfg.segment_bytes, cfg.shm_name);
   ShmControl* ctl = seg.New<ShmControl>();
@@ -344,7 +450,9 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
         static_cast<uint64_t>(std::max<int64_t>(cfg.self_kill_budget, 0)) +
         cfg.independent_kills +
         cfg.batch_kill_events *
-            static_cast<uint64_t>(cfg.batch_size <= 0 ? n : cfg.batch_size);
+            static_cast<uint64_t>(cfg.batch_size <= 0 ? n : cfg.batch_size) +
+        cfg.storm_kills *
+            static_cast<uint64_t>(cfg.storm_victim < 0 ? n : 1);
     ctl->log_cap = 4 * static_cast<uint64_t>(n) * cfg.passages_per_proc +
                    8 * kill_budget + 64 * static_cast<uint64_t>(n) + 1024;
     ctl->log = seg.NewArray<ShmEvent>(ctl->log_cap);
@@ -356,8 +464,20 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
   // "exactly K failures" (and one-shot site kills) would drift with every
   // respawned child's private copy.
   CrashController* crash = nullptr;
+  RecoveryStormCrash* storm = nullptr;
   {
     std::vector<CrashController*> parts;
+    if (cfg.storm_kills > 0) {
+      const uint64_t mask =
+          cfg.storm_victim < 0
+              ? (n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1)
+              : uint64_t{1} << cfg.storm_victim;
+      storm = seg.New<RecoveryStormCrash>(mask, cfg.storm_kills,
+                                          cfg.storm_nth_op);
+      // First in the chain: CompositeCrash short-circuits on a firing
+      // part, and the storm's armed-op counting must see every op.
+      parts.push_back(storm);
+    }
     if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
       parts.push_back(seg.New<RandomCrash>(cfg.seed ^ 0x51684c1ull,
                                            cfg.self_kill_per_op,
@@ -403,18 +523,47 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
     bool alive = false;
     bool finished = false;
     bool parent_kill_pending = false;
+    bool watchdog_kill_pending = false;
     uint64_t self_kills_seen = 0;
+    // Per-child liveness watchdog state.
+    uint64_t last_progress = 0;
+    double last_progress_at = 0.0;
+    int hang_respawns = 0;
+    bool respawn_scheduled = false;  ///< backoff respawn pending
+    double respawn_at = 0.0;
   };
   std::vector<ChildState> children(static_cast<size_t>(n));
 
+  // Progress signal for one child: passage completions + attempts +
+  // (when mirroring) its kill-survivable op count, which advances on
+  // every instrumented shared-memory op — so a child spinning in a
+  // *healthy* Enter wait still reads as live, while one stuck in an
+  // uninstrumented loop (or wedged on a corpse-held resource) flatlines.
+  auto child_progress = [&](int pid) {
+    const PerPidControl& pc = ctl->per_pid[pid];
+    uint64_t p = pc.done.load(std::memory_order_relaxed) +
+                 pc.attempts.load(std::memory_order_relaxed);
+    if (cfg.mirror_counters) p += ctl->pid_counters[pid].Snapshot().ops;
+    return p;
+  };
+
   auto spawn = [&](int pid) {
+    // Bump the slot's incarnation *before* the fork; the child carries
+    // the bumped value and exits untouched if the slot ever moves past
+    // it (stale-respawn guard).
+    const uint64_t inc =
+        ctl->per_pid[pid].incarnation.fetch_add(1, std::memory_order_acq_rel) +
+        1;
     const pid_t c = ::fork();
     RME_CHECK_MSG(c >= 0, "fork failed");
     if (c == 0) {
-      ChildMain(lock.get(), ctl, cs_scratch, crash, pid, cfg);
+      ChildMain(lock.get(), ctl, cs_scratch, crash, pid, inc, cfg);
     }
-    children[static_cast<size_t>(pid)].os_pid = c;
-    children[static_cast<size_t>(pid)].alive = true;
+    ChildState& cs = children[static_cast<size_t>(pid)];
+    cs.os_pid = c;
+    cs.alive = true;
+    cs.last_progress = child_progress(pid);
+    cs.last_progress_at = NowSeconds();
   };
 
   const double t0 = NowSeconds();
@@ -479,6 +628,12 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
 
       if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
         ++result.kills;
+        // The victim's phase word is frozen at its last publish; a storm
+        // kill must land in kRecovering, a "cs.op" site kill in kCs.
+        const uint32_t ph = std::min<uint32_t>(
+            ctl->per_pid[pid].phase.load(std::memory_order_relaxed),
+            static_cast<uint32_t>(shm::kNumPidPhases - 1));
+        ++result.kills_by_phase[ph];
         if (cfg.mirror_counters) {
           // Counter-survival check: the victim's segment slot (flushed on
           // every instrumented op) must be at or ahead of its newest
@@ -517,17 +672,46 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
           const bool unsafe =
               site != nullptr && lock->IsSensitiveSite(site, true);
           if (unsafe) ++result.unsafe_kills;
-          if (!cs.parent_kill_pending) {
+          if (!cs.parent_kill_pending && !cs.watchdog_kill_pending) {
             AppendEvent(ctl, EventKind::kKill, pid,
                         ctl->per_pid[pid].done.load(std::memory_order_relaxed),
                         /*counters=*/nullptr, unsafe);
           }
+        } else if (cs.watchdog_kill_pending) {
+          ++result.watchdog_kills;
+          ++result.unsafe_kills;  // arbitrary-point kill: assume unsafe
         } else {
           ++result.parent_kills;
           ++result.unsafe_kills;  // arbitrary-point kill: assume unsafe
         }
         cs.parent_kill_pending = false;
-        if (!shutting_down) spawn(pid);  // recover: fresh fork, Recover()
+        if (!shutting_down) {
+          if (cs.watchdog_kill_pending) {
+            // Hang respawn policy: capped exponential backoff, then give
+            // the pid up so the harness still terminates with a verdict.
+            cs.watchdog_kill_pending = false;
+            if (cs.hang_respawns >= cfg.max_hang_respawns) {
+              ++result.hung_abandoned;
+              cs.finished = true;
+              std::fprintf(stderr,
+                           "FORK-HANG: pid %d abandoned after %d hang "
+                           "respawns\n",
+                           pid, cs.hang_respawns);
+            } else {
+              const double backoff = std::min(
+                  1.0, 0.05 * static_cast<double>(uint64_t{1}
+                                                  << std::min(cs.hang_respawns,
+                                                              20)));
+              ++cs.hang_respawns;
+              cs.respawn_scheduled = true;
+              cs.respawn_at = NowSeconds() + backoff;
+            }
+          } else {
+            spawn(pid);  // recover: fresh fork, Recover()
+          }
+        } else {
+          cs.watchdog_kill_pending = false;
+        }
         continue;
       }
 
@@ -547,6 +731,17 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
     if (shutting_down && all_done) break;
 
     const double now = NowSeconds();
+
+    // Backoff respawns that have come due.
+    if (!shutting_down) {
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (c.respawn_scheduled && now >= c.respawn_at) {
+          c.respawn_scheduled = false;
+          spawn(j);
+        }
+      }
+    }
 
     // Parent-side kill scheduling.
     if (!shutting_down && now >= next_kill_at &&
@@ -588,6 +783,34 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
       }
     }
 
+    // Per-child liveness watchdog: a child whose progress signal is flat
+    // for hang_seconds gets dumped, killed, and (at reap) respawned
+    // under backoff. A kill already in flight suppresses the check — the
+    // victim is *supposed* to be making no progress.
+    if (!shutting_down && cfg.hang_seconds > 0) {
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (!c.alive || c.finished || c.parent_kill_pending ||
+            c.watchdog_kill_pending) {
+          continue;
+        }
+        const uint64_t p = child_progress(j);
+        if (p != c.last_progress) {
+          c.last_progress = p;
+          c.last_progress_at = now;
+          continue;
+        }
+        if (now - c.last_progress_at <= cfg.hang_seconds) continue;
+        ++result.hangs;
+        DumpHungChild(ctl, lock_name, j, now - c.last_progress_at);
+        c.watchdog_kill_pending = true;
+        AppendEvent(ctl, EventKind::kKill, j,
+                    ctl->per_pid[j].done.load(std::memory_order_relaxed),
+                    /*counters=*/nullptr, /*unsafe=*/true);
+        ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
     // Watchdog: no progress (passage completions, attempts, or kills).
     const uint64_t progress = progress_now();
     if (progress != last_progress) {
@@ -624,6 +847,11 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
   result.log_overflow =
       ctl->log_overflow.load(std::memory_order_relaxed) != 0;
   result.segment_bytes_used = seg.bytes_used();
+  if (storm != nullptr) {
+    for (int pid = 0; pid < n; ++pid) {
+      result.storm_kills += storm->storm_kills(pid);
+    }
+  }
 
   LogVerdicts v = ScanLog(ctl, lock->IsStronglyRecoverable(),
                           cfg.mirror_counters);
@@ -635,6 +863,19 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
   result.rmr_by_overlap = std::move(v.rmr_by_overlap);
   result.phantom_crash_notes = v.phantom_crash_notes;
   result.counter_regressions += v.counter_regressions;
+  result.per_pid.resize(static_cast<size_t>(n));
+  for (int pid = 0; pid < n; ++pid) {
+    const PerPidControl& pc = ctl->per_pid[pid];
+    ForkCrashResult::PidProgress& pp = result.per_pid[static_cast<size_t>(pid)];
+    pp.done = pc.done.load(std::memory_order_relaxed);
+    pp.attempts = pc.attempts.load(std::memory_order_relaxed);
+    pp.incarnations = pc.incarnation.load(std::memory_order_relaxed);
+    pp.max_attempts_per_passage = v.max_attempts_per_passage[pid];
+    pp.max_passage_ticket_span = v.max_passage_span[pid];
+    pp.max_level = pc.max_level.load(std::memory_order_relaxed);
+    result.max_ba_level =
+        std::max(result.max_ba_level, static_cast<int>(pp.max_level));
+  }
   if (cfg.mirror_counters) {
     result.pid_counters.reserve(static_cast<size_t>(n));
     for (int pid = 0; pid < n; ++pid) {

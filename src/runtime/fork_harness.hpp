@@ -37,12 +37,14 @@
 // locked allocator/runtime internals into the children).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "rmr/memory_model.hpp"
+#include "shm/shm_layout.hpp"
 
 namespace rme {
 
@@ -80,12 +82,31 @@ struct ForkCrashConfig {
   int site_kill_pid = 0;
   uint64_t site_kill_nth = 1;
 
+  /// Recovery storm (Thm 5.17 / §7.1 regime): when `storm_kills` > 0, a
+  /// RecoveryStormCrash controller re-kills `storm_victim` (or, when
+  /// negative, *every* pid — the system-wide variant that batch-kills
+  /// mid-recovery) at its `storm_nth_op`-th instrumented op inside
+  /// Recover(), for its first `storm_kills` consecutive recovery
+  /// attempts.
+  int storm_victim = 0;
+  uint64_t storm_kills = 0;
+  uint64_t storm_nth_op = 1;
+
   /// Mirror per-process RMR counters into the segment (kill-survivable
   /// accounting + per-event snapshots). Off restores the PR 2 behaviour
   /// of not measuring RMRs under real crashes.
   bool mirror_counters = true;
 
-  double watchdog_seconds = 30.0;  ///< no-progress abort
+  /// Per-child liveness watchdog: a child whose progress signal (passage
+  /// completions + attempts + mirrored op count) is flat for
+  /// `hang_seconds` is dumped (phase, last probe site, owner word, log
+  /// tail), SIGKILLed, and respawned under capped exponential backoff —
+  /// at most `max_hang_respawns` times before the pid is abandoned so
+  /// the harness still terminates with a verdict. 0 disables.
+  double hang_seconds = 10.0;
+  int max_hang_respawns = 3;
+
+  double watchdog_seconds = 30.0;  ///< global no-progress abort (backstop)
   size_t segment_bytes = 64u << 20;
   std::string shm_name;  ///< non-empty: named POSIX segment, else anonymous
 };
@@ -113,6 +134,38 @@ struct ForkCrashResult {
   uint64_t unsafe_kills = 0;  ///< kills at a sensitive site (child-side
                               ///< classified exactly; parent-side counted
                               ///< as unsafe, conservatively)
+
+  /// Every kill classified by the victim's published phase word, frozen
+  /// at death (index = shm::PidPhase). Storm kills land in kRecovering.
+  std::array<uint64_t, shm::kNumPidPhases> kills_by_phase{};
+  /// Kills delivered by the RecoveryStormCrash controller (subset of
+  /// child_kills; zero when no storm is configured).
+  uint64_t storm_kills = 0;
+
+  // Per-child liveness watchdog.
+  uint64_t hangs = 0;            ///< hang detections (dump + SIGKILL each)
+  uint64_t watchdog_kills = 0;   ///< watchdog SIGKILLs confirmed at reap
+  uint64_t hung_abandoned = 0;   ///< pids given up after max_hang_respawns
+
+  /// Deepest lock level any pid ever published (BaLock::LastPathDepth;
+  /// 0 for locks without levels). The storm report asserts
+  /// kills >= max_ba_level*(max_ba_level-1)/2 — Thm 5.17.
+  int max_ba_level = 0;
+
+  /// Per-pid progress + starvation verdicts (ScanLog; always populated).
+  /// `max_passage_ticket_span` is the super-passage latency in event-log
+  /// ticket time: log slots between the passage's kReqStart and kReqDone,
+  /// i.e. how much global progress the pid had to watch go by. The gate:
+  /// a crash storm against one pid must not starve the others unnoticed.
+  struct PidProgress {
+    uint64_t done = 0;
+    uint64_t attempts = 0;
+    uint64_t incarnations = 0;  ///< 1 + times this pid was respawned
+    uint64_t max_attempts_per_passage = 0;
+    uint64_t max_passage_ticket_span = 0;
+    uint64_t max_level = 0;
+  };
+  std::vector<PidProgress> per_pid;
 
   // Post-hoc log verdicts.
   uint64_t me_violations = 0;

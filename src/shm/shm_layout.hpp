@@ -42,6 +42,20 @@ enum class EventKind : uint32_t {
   kDone,         ///< pid finished its workload gracefully
 };
 
+inline const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kInvalid: return "invalid";
+    case EventKind::kReqStart: return "req-start";
+    case EventKind::kEnter: return "enter";
+    case EventKind::kExit: return "exit";
+    case EventKind::kReqDone: return "req-done";
+    case EventKind::kKill: return "kill";
+    case EventKind::kCrashNoted: return "crash-noted";
+    case EventKind::kDone: return "done";
+  }
+  return "?";
+}
+
 struct ShmEvent {
   uint32_t pid = 0;
   /// EventKind; atomic and written *last* (release) so a writer killed
@@ -78,6 +92,33 @@ inline uint64_t EncodeCsTicket(uint64_t slot, uint64_t phase) {
 inline uint64_t CsTicketSlot(uint64_t ticket) { return (ticket >> 1) - 1; }
 inline uint64_t CsTicketPhase(uint64_t ticket) { return ticket & 1; }
 
+/// Life-cycle phase a child publishes into its PerPidControl slot at
+/// every transition of the Algorithm-1 loop. The word survives a SIGKILL
+/// of its owner frozen at the victim's last published phase, so the
+/// parent classifies every kill by where it landed (the recovery-storm
+/// controller drives kills specifically into kRecovering — the Thm 5.17
+/// / §7.1 regime) and the liveness watchdog's hang dumps say what the
+/// stuck child was doing.
+enum class PidPhase : uint32_t {
+  kIdle = 0,        ///< NCS / between requests
+  kRecovering,      ///< inside (or about to call) lock->Recover
+  kEntering,        ///< inside lock->Enter or the enter bracket
+  kCs,              ///< inside the critical section
+  kExiting,         ///< inside the exit bracket or lock->Exit
+};
+inline constexpr int kNumPidPhases = 5;
+
+inline const char* PidPhaseName(uint32_t p) {
+  switch (static_cast<PidPhase>(p)) {
+    case PidPhase::kIdle: return "idle";
+    case PidPhase::kRecovering: return "recovering";
+    case PidPhase::kEntering: return "entering";
+    case PidPhase::kCs: return "cs";
+    case PidPhase::kExiting: return "exiting";
+  }
+  return "?";
+}
+
 /// Per-child control words, one cache line each so children never steal
 /// each other's lines on the passage hot path.
 struct alignas(kCacheLineBytes) PerPidControl {
@@ -86,6 +127,24 @@ struct alignas(kCacheLineBytes) PerPidControl {
   std::atomic<uint64_t> cs_ticket{0}; ///< logged-CS bracket (see above)
   std::atomic<uint32_t> req_open{0};  ///< super-passage in flight
   std::atomic<uint32_t> finished{0};  ///< graceful completion
+  /// PidPhase, published (relaxed, owner-only) at each loop transition.
+  std::atomic<uint32_t> phase{0};
+  /// Monotonic incarnation counter: bumped by the *parent* immediately
+  /// before each fork of this pid, read back by the child at bind time.
+  /// A child whose recorded incarnation no longer matches the slot is
+  /// stale (the parent has already respawned past it) and must exit
+  /// without touching the segment — a stale binding can never mirror
+  /// into a live slot.
+  std::atomic<uint64_t> incarnation{0};
+  /// Deepest lock level (RecoverableLock::LastPathDepth) this pid ever
+  /// reached, across all incarnations. Owner-written max; the storm
+  /// report checks it against the Thm 5.17 x(x-1)/2 failure bound.
+  std::atomic<uint64_t> max_level{0};
+  /// Most recent *harness-level* probe site ("h.recover.brk", ...); lock
+  ///-internal sites stay in the child's private ProcessContext. String
+  /// literals share addresses across the fork tree, so the parent can
+  /// print the pointer in a hang dump.
+  std::atomic<const char*> last_probe_site{nullptr};
 };
 
 struct ShmControl {

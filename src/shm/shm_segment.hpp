@@ -36,7 +36,7 @@
 namespace rme::shm {
 
 inline constexpr uint64_t kSegmentMagic = 0x524d4553484d3031ull;  // "RMESHM01"
-inline constexpr uint32_t kSegmentVersion = 1;
+inline constexpr uint32_t kSegmentVersion = 2;  ///< 2: phase/incarnation words in PerPidControl
 
 /// First bytes of every segment. All cross-process mutable fields are
 /// std::atomic so concurrent children and the parent agree on them.

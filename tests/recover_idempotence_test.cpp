@@ -1,0 +1,68 @@
+// Recover() idempotence across the whole registry. The paper's model
+// allows a process to be killed *inside* Recover itself (the fork
+// harness's recovery-storm regime does exactly that), so a respawn
+// re-runs Recover from the top — possibly many times in a row, with no
+// intervening Enter. Every recoverable lock must treat a repeated
+// Recover as a no-op: no wedging, no spurious acquisition, and clean
+// passages afterwards.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/lock_registry.hpp"
+#include "locks/lock.hpp"
+#include "rmr/counters.hpp"
+
+namespace rme {
+namespace {
+
+TEST(RecoverIdempotence, DoubleRecoverIsANoOpForEveryRegistryLock) {
+  for (const std::string& name : RecoverableLockNames()) {
+    SCOPED_TRACE(name);
+    auto lock = MakeLock(name, 4);
+    ProcessBinding bind(0, nullptr);
+    // Fresh state: back-to-back Recovers before any request.
+    lock->Recover(0);
+    lock->Recover(0);
+    // Between full passages: each attempt replays Recover twice, as a
+    // respawn killed inside its first Recover would.
+    for (int i = 0; i < 3; ++i) {
+      lock->Recover(0);
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+    }
+    lock->OnProcessDone(0);
+  }
+}
+
+TEST(RecoverIdempotence, FreshPidRecoverIsANoOpAndBlocksNobody) {
+  for (const std::string& name : RecoverableLockNames()) {
+    SCOPED_TRACE(name);
+    auto lock = MakeLock(name, 4);
+    // pid 3 never issued a request; its Recover must not acquire
+    // anything or leave residue that blocks pid 0's passage.
+    {
+      ProcessBinding bind(3, nullptr);
+      lock->Recover(3);
+      lock->Recover(3);
+    }
+    {
+      ProcessBinding bind(0, nullptr);
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+      lock->OnProcessDone(0);
+    }
+    // Still a no-op after real traffic went through the lock.
+    {
+      ProcessBinding bind(3, nullptr);
+      lock->Recover(3);
+      lock->Recover(3);
+      lock->OnProcessDone(3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rme

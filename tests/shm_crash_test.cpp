@@ -379,6 +379,111 @@ TEST(ForkHarness, KillBetweenPackedMirrorStoresLosesAtMostOneOp) {
   munmap(slot, sizeof(SharedOpCounters));
 }
 
+TEST(ForkHarness, RecoveryStormKillsLandInRecoveryAndNobodyStarves) {
+  // Thm 5.17 regime: pid 0's first 5 consecutive Recover() attempts all
+  // die. Every kill must classify into the recovering phase, the victim's
+  // super-passage must absorb exactly storm_kills retries, and no other
+  // pid may starve while the storm rages.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 150;
+  cfg.seed = 67;
+  cfg.storm_victim = 0;
+  cfg.storm_kills = 5;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 600u);
+  EXPECT_EQ(r.kills, 5u);
+  EXPECT_EQ(r.storm_kills, 5u);
+  EXPECT_EQ(r.child_kills, 5u);  // storm fires through SigkillCrash
+  EXPECT_EQ(r.kills_by_phase[static_cast<size_t>(
+                shm::PidPhase::kRecovering)],
+            5u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  EXPECT_EQ(r.hangs, 0u);
+  ASSERT_EQ(r.per_pid.size(), 4u);
+  // All 5 kills land inside the victim's first super-passage (req_open
+  // survives the respawns), so its worst passage took 1 + 5 attempts.
+  EXPECT_EQ(r.per_pid[0].max_attempts_per_passage, 6u);
+  EXPECT_EQ(r.per_pid[0].incarnations, 6u);  // first spawn + 5 respawns
+  for (size_t pid = 0; pid < 4; ++pid) {
+    EXPECT_EQ(r.per_pid[pid].done, 150u) << pid;  // nobody starves
+    if (pid != 0) {
+      EXPECT_EQ(r.per_pid[pid].incarnations, 1u) << pid;
+      EXPECT_EQ(r.per_pid[pid].max_attempts_per_passage, 1u) << pid;
+    }
+  }
+}
+
+TEST(ForkHarness, SystemWideRecoveryStormBatchKillsMidRecovery) {
+  // §7.1 batch variant: every pid is a storm victim, so kills land while
+  // other pids' recoveries are themselves in flight.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 4;
+  cfg.passages_per_proc = 100;
+  cfg.seed = 71;
+  cfg.storm_victim = -1;
+  cfg.storm_kills = 3;
+  const ForkCrashResult r = RunForkCrashWorkload("ba", cfg);
+  EXPECT_EQ(r.completed_passages, 400u);
+  EXPECT_EQ(r.kills, 12u);
+  EXPECT_EQ(r.storm_kills, 12u);
+  EXPECT_EQ(r.kills_by_phase[static_cast<size_t>(
+                shm::PidPhase::kRecovering)],
+            12u);
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.counter_regressions, 0u);
+  EXPECT_EQ(r.hangs, 0u);
+  ASSERT_EQ(r.per_pid.size(), 4u);
+  for (size_t pid = 0; pid < 4; ++pid) {
+    EXPECT_EQ(r.per_pid[pid].done, 100u) << pid;
+    EXPECT_EQ(r.per_pid[pid].max_attempts_per_passage, 4u) << pid;
+    EXPECT_EQ(r.per_pid[pid].incarnations, 4u) << pid;
+  }
+}
+
+TEST(ForkHarness, WatchdogDetectsLivelockedChildAndStillTerminates) {
+  // The hang-sim lock livelocks (uninstrumented) in Recover() after its
+  // owner dies mid-CS. The per-child watchdog must flatline-detect the
+  // stuck child, dump + SIGKILL it, respawn under backoff, and give the
+  // pid up after max_hang_respawns — while the other pid finishes its
+  // full quota and the harness exits with a verdict instead of stalling
+  // until the global backstop.
+  ForkCrashConfig cfg;
+  cfg.num_procs = 2;
+  cfg.passages_per_proc = 60;
+  cfg.seed = 73;
+  cfg.site_kill_site = "cs.op";  // pid 0 dies inside its first CS...
+  cfg.site_kill_pid = 0;
+  cfg.site_kill_nth = 1;
+  cfg.hang_seconds = 0.25;  // ...and every respawn livelocks in Recover
+  cfg.max_hang_respawns = 2;
+  const ForkCrashResult r = RunForkCrashWorkload("hang-sim", cfg);
+  // Detect, kill, respawn, re-detect: max_hang_respawns + 1 hangs total,
+  // then the pid is abandoned.
+  EXPECT_EQ(r.hangs, 3u);
+  EXPECT_EQ(r.watchdog_kills, 3u);
+  EXPECT_EQ(r.hung_abandoned, 1u);
+  EXPECT_EQ(r.kills, 4u);  // the cs.op site kill + 3 watchdog kills
+  EXPECT_EQ(r.child_kills, 1u);
+  EXPECT_FALSE(r.watchdog_fired);  // per-child watchdog, not the backstop
+  EXPECT_EQ(r.child_errors, 0u);
+  EXPECT_EQ(r.me_violations, 0u);
+  ASSERT_EQ(r.per_pid.size(), 2u);
+  EXPECT_EQ(r.per_pid[0].done, 0u);   // died in its first CS, never again
+  EXPECT_EQ(r.per_pid[1].done, 60u);  // the healthy pid is not starved
+  EXPECT_EQ(r.completed_passages, 60u);
+  // Every watchdog kill froze the victim inside Recover().
+  EXPECT_EQ(r.kills_by_phase[static_cast<size_t>(
+                shm::PidPhase::kRecovering)],
+            3u);
+  EXPECT_EQ(
+      r.kills_by_phase[static_cast<size_t>(shm::PidPhase::kCs)], 1u);
+}
+
 TEST(ForkHarness, MirroringOffRestoresNoRmrMode) {
   ForkCrashConfig cfg;
   cfg.num_procs = 2;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the real-process SIGKILL crash sweep (bench_fork_crash) from an
 # existing build tree, with a bounded wall clock so a wedged harness can
-# never hang CI. Exit status is the bench's own (nonzero on any ME/BCSR
-# violation, child error, watchdog fire, or log overflow) or 124 on
-# timeout.
+# never hang CI. The bench's exit status is propagated verbatim
+# (nonzero on any ME/BCSR violation, child error, hang, watchdog fire,
+# storm-gate failure, or log overflow); a timeout maps to the
+# conventional 124/137 with a diagnostic on stderr.
 #
 # Usage: tools/run_fork_crash.sh [build-dir] [extra bench flags...]
 #   RME_FORK_CRASH_TIMEOUT=300  wall-clock cap in seconds (default 300)
@@ -21,4 +22,22 @@ if [[ ! -x "$BIN" ]]; then
 fi
 
 TIMEOUT_S="${RME_FORK_CRASH_TIMEOUT:-300}"
-exec timeout --signal=KILL "$TIMEOUT_S" "$BIN" "$@"
+
+# Not `exec`: capture the status so timeouts and gate failures are
+# reported distinctly instead of silently becoming the script's exit.
+status=0
+timeout --kill-after=10 "$TIMEOUT_S" "$BIN" "$@" || status=$?
+
+case "$status" in
+  0)
+    ;;
+  124|137)
+    echo "error: bench_fork_crash exceeded ${TIMEOUT_S}s wall clock" \
+         "(status $status) — liveness watchdog failed to terminate the run" >&2
+    ;;
+  *)
+    echo "error: bench_fork_crash failed with status $status" \
+         "(ME/BCSR violation, hang, counter regression, or storm gate)" >&2
+    ;;
+esac
+exit "$status"
