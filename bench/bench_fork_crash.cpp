@@ -25,12 +25,17 @@
 //        --storm --storm_kills=12 --storm_victim=0 (-1 = all)
 //        --storm_nth=1 (which in-Recover op dies; storm zeroes the other
 //        kill sources unless they are passed explicitly)
+//        --spin_budget_us=N (stage-2 spin budget before futex parking;
+//        0 = park immediately, the park/unpark stress regime; -1 keeps
+//        the built-in default) --cohorts=N (cohort count for the cohort
+//        locks; 0 = NUMA auto-detect)
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "locks/cohort_lock.hpp"
 #include "runtime/fork_harness.hpp"
 
 namespace rme {
@@ -130,6 +135,12 @@ int BenchMain(int argc, char** argv) {
   cfg.self_kill_per_op = cli.GetDouble("self_prob", 0.0005);
   cfg.self_kill_budget = cli.GetInt("self_budget", 50);
   cfg.kill_interval_ms = cli.GetDouble("interval_ms", 0.5);
+  cfg.spin_budget_us = static_cast<int32_t>(cli.GetInt("spin_budget_us", -1));
+  if (cli.Has("cohorts")) {
+    // Applies at MakeLock time inside the harness (cohort locks only).
+    cohort_lock_defaults().cohorts =
+        static_cast<int>(cli.GetInt("cohorts", 0));
+  }
   const bool report_rmr = cli.GetString("report", "") == "rmr";
   const std::string json_out = cli.GetString("json_out", "");
 

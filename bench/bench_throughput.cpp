@@ -1,16 +1,37 @@
-// Wall-clock throughput comparison (google-benchmark): acquire/release
-// cycles per second for every lock at several thread counts. This is the
-// "does the theory survive contact with a real machine" companion to the
-// RMR tables — the instrumentation overhead is identical across locks,
-// so relative ordering is meaningful.
+// Wall-clock throughput comparison: acquire/release cycles per second
+// for every lock at several thread counts. This is the "does the theory
+// survive contact with a real machine" companion to the RMR tables —
+// the instrumentation overhead is identical across locks, so relative
+// ordering is meaningful.
+//
+// Two modes:
+//  - default: google-benchmark families `<lock>/threads:{1,4,8}`;
+//  - --json_out=PATH: a fixed-duration driver that measures the same
+//    series plus an *oversubscribed* series (--oversub_threads, default
+//    256, multiplexed over the kMaxProcs pid slots) for the cohort lock
+//    with stage-3 futex parking on vs off, recording getrusage CPU time
+//    per series — the threads≫cores regime where parked waiters stop
+//    burning scheduler quanta. Writes BENCH_throughput.json-style JSON
+//    (see tools/check_overhead_regression.py --mode=throughput).
+//    Flags: --duration_ms=150 --oversub_threads=256
+//           --oversub_duration_ms=600 --cohorts=N (0 = NUMA auto)
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/lock_registry.hpp"
+#include "locks/cohort_lock.hpp"
 #include "rmr/counters.hpp"
+#include "util/cli.hpp"
 
 namespace rme {
 namespace {
@@ -35,20 +56,222 @@ void ThroughputBody(benchmark::State& state, SharedLock* shared,
   const int pid = state.thread_index();
   ProcessBinding bind(pid, nullptr);
   RecoverableLock& lock = *shared->lock;
+  benchmark::IterationCount done = 0;
   for (auto _ : state) {
     lock.Recover(pid);
     lock.Enter(pid);
     benchmark::DoNotOptimize(pid);
     lock.Exit(pid);
+    // A lock may retain the CS across passages (cohort). The ranged-for
+    // exit stops at google-benchmark's inter-thread barrier before any
+    // code after the loop runs, so a retainer waiting there deadlocks
+    // the threads still blocked in Enter — surrender on the final
+    // iteration instead, while this thread is still on the near side of
+    // the barrier.
+    if (++done == state.max_iterations) lock.OnProcessDone(pid);
   }
-  lock.OnProcessDone(pid);
+  lock.OnProcessDone(pid);  // idempotent; covers the zero-iteration case
   state.SetItemsProcessed(state.iterations());
+}
+
+// ---------------------------------------------------------------------
+// Fixed-duration JSON driver.
+
+double CpuSeconds() {
+  struct rusage ru;
+  ::getrusage(RUSAGE_SELF, &ru);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + 1e-6 * static_cast<double>(t.tv_usec);
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+struct SeriesResult {
+  uint64_t passages = 0;
+  double wall_s = 0;
+  double cpu_s = 0;
+  double items_per_second() const {
+    return wall_s > 0 ? static_cast<double>(passages) / wall_s : 0;
+  }
+  double cpu_us_per_passage() const {
+    return passages > 0 ? 1e6 * cpu_s / static_cast<double>(passages) : 0;
+  }
+};
+
+/// Runs `threads` workers over one lock for ~duration_s. Threads beyond
+/// kMaxProcs multiplex the pid slots: a worker claims slot (t mod slots)
+/// under a per-slot mutex, binds, runs a chunk of passages, unbinds and
+/// re-claims — at most one live binding per pid at any time, which is
+/// the contract kMaxProcs-sized lock state assumes. Teardown: on stop,
+/// whichever worker holds a slot's binding calls OnProcessDone before
+/// dropping it, so a lock retaining the CS across passages (cohort)
+/// releases it and every worker still blocked in Enter drains out.
+SeriesResult RunSeries(RecoverableLock* lock, int threads, double duration_s) {
+  const int slots = std::min(threads, kMaxProcs);
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<uint64_t> counts(static_cast<size_t>(threads), 0);
+  static std::mutex slot_mu[kMaxProcs];
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const int s = t % slots;
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      uint64_t local = 0;
+      if (threads <= slots) {
+        // One thread per pid: bind once for the whole series.
+        ProcessBinding bind(s, nullptr);
+        while (!stop.load(std::memory_order_relaxed)) {
+          lock->Recover(s);
+          lock->Enter(s);
+          benchmark::DoNotOptimize(local);
+          lock->Exit(s);
+          ++local;
+        }
+        lock->OnProcessDone(s);
+      } else {
+        while (!stop.load(std::memory_order_relaxed)) {
+          std::lock_guard<std::mutex> lk(slot_mu[s]);
+          ProcessBinding bind(s, nullptr);
+          for (int k = 0; k < 256; ++k) {
+            if (stop.load(std::memory_order_relaxed)) break;
+            lock->Recover(s);
+            lock->Enter(s);
+            benchmark::DoNotOptimize(local);
+            lock->Exit(s);
+            ++local;
+          }
+          // Retained state must not outlive the binding unless another
+          // thread will rebind this pid; on stop nobody will, so release
+          // now (idempotent — later same-slot threads see nothing held).
+          if (stop.load(std::memory_order_relaxed)) lock->OnProcessDone(s);
+        }
+      }
+      counts[static_cast<size_t>(t)] = local;
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  const double cpu0 = CpuSeconds();
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double cpu1 = CpuSeconds();
+
+  SeriesResult r;
+  for (uint64_t c : counts) r.passages += c;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.cpu_s = cpu1 - cpu0;
+  return r;
+}
+
+int JsonDriver(const Cli& cli) {
+  const std::string path = cli.GetString("json_out", "");
+  const double duration_s = cli.GetDouble("duration_ms", 150) / 1000.0;
+  const int oversub_threads =
+      static_cast<int>(cli.GetInt("oversub_threads", 256));
+  const double oversub_s = cli.GetDouble("oversub_duration_ms", 600) / 1000.0;
+  if (cli.Has("cohorts")) {
+    cohort_lock_defaults().cohorts = static_cast<int>(cli.GetInt("cohorts", 0));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ERROR: cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  const std::vector<int> thread_counts = {1, 4, 8};
+  std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+  std::fprintf(f, "  \"duration_ms\": %.0f,\n", duration_s * 1000);
+  std::fprintf(f, "  \"items_per_second\": {\n");
+  std::map<int, double> aggregate;
+  const std::vector<std::string> names = AllLockNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::fprintf(f, "    \"%s\": {", names[i].c_str());
+    for (size_t j = 0; j < thread_counts.size(); ++j) {
+      const int t = thread_counts[j];
+      auto lock = MakeLock(names[i], std::min(t, kMaxProcs));
+      const SeriesResult r = RunSeries(lock.get(), t, duration_s);
+      aggregate[t] += r.items_per_second();
+      std::fprintf(f, "%s\"%d\": %.0f", j ? ", " : "", t,
+                   r.items_per_second());
+      std::fprintf(stderr, "[series] %-18s %3d threads: %11.0f items/s "
+                   "(cpu %.2fs / wall %.2fs)\n",
+                   names[i].c_str(), t, r.items_per_second(), r.cpu_s,
+                   r.wall_s);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < names.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"aggregate_items_per_second_by_threads\": {");
+  {
+    bool first = true;
+    for (const auto& [t, v] : aggregate) {
+      std::fprintf(f, "%s\"%d\": %.0f", first ? "" : ", ", t, v);
+      first = false;
+    }
+  }
+  std::fprintf(f, "},\n");
+
+  // Oversubscribed series: the cohort lock at threads≫cores≫pid-slots,
+  // with the spin→futex third stage on vs off. The interesting number is
+  // CPU time per passage: parked waiters cost ~nothing, spinning waiters
+  // burn a scheduler quantum each before the holder runs again.
+  std::fprintf(f, "  \"oversubscribed\": {\n");
+  std::fprintf(f, "    \"lock\": \"cohort\", \"threads\": %d,\n",
+               oversub_threads);
+  const SpinConfig saved = spin_config();
+  SeriesResult park, spin;
+  {
+    auto lock = MakeLock("cohort", std::min(oversub_threads, kMaxProcs));
+    spin_config().park_enabled = true;
+    park = RunSeries(lock.get(), oversub_threads, oversub_s);
+  }
+  {
+    auto lock = MakeLock("cohort", std::min(oversub_threads, kMaxProcs));
+    spin_config().park_enabled = false;
+    spin = RunSeries(lock.get(), oversub_threads, oversub_s);
+  }
+  spin_config() = saved;
+  auto emit = [f](const char* key, const SeriesResult& r) {
+    std::fprintf(f,
+                 "    \"%s\": {\"items_per_second\": %.0f, "
+                 "\"cpu_seconds\": %.3f, \"cpu_us_per_passage\": %.4f},\n",
+                 key, r.items_per_second(), r.cpu_s, r.cpu_us_per_passage());
+  };
+  emit("park", park);
+  emit("spin", spin);
+  const double ratio = park.cpu_us_per_passage() > 0
+                           ? spin.cpu_us_per_passage() / park.cpu_us_per_passage()
+                           : 0;
+  std::fprintf(f, "    \"cpu_ratio_spin_over_park\": %.2f\n  }\n}\n", ratio);
+  std::fclose(f);
+  std::fprintf(stderr,
+               "[oversub] park: %.0f items/s, %.4f cpu-us/passage | "
+               "spin: %.0f items/s, %.4f cpu-us/passage | ratio %.2fx\n",
+               park.items_per_second(), park.cpu_us_per_passage(),
+               spin.items_per_second(), spin.cpu_us_per_passage(), ratio);
+  std::fprintf(stderr, "[json] wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
 }  // namespace rme
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--json_out", 0) == 0) {
+      return rme::JsonDriver(rme::Cli(argc, argv));
+    }
+  }
   // Default to short measurements (override with --benchmark_min_time).
   std::vector<char*> args(argv, argv + argc);
   char default_min_time[] = "--benchmark_min_time=0.1s";

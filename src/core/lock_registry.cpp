@@ -6,6 +6,7 @@
 #include "core/ba_lock.hpp"
 #include "core/iter_ba_lock.hpp"
 #include "core/sa_lock.hpp"
+#include "locks/cohort_lock.hpp"
 #include "locks/gr_adaptive_lock.hpp"
 #include "locks/hang_lock.hpp"
 #include "locks/gr_semi_lock.hpp"
@@ -54,6 +55,25 @@ std::unique_ptr<RecoverableLock> MakeLock(const std::string& name,
     const int m = base->depth();
     return std::make_unique<BaLock>(num_procs, m, std::move(base));
   }
+  if (name == "cohort") {
+    // NUMA-cohorted fast path over a cw-ticket top lock (pseudo-pid per
+    // cohort). Tunables come from cohort_lock_defaults() so tests and
+    // benches can pin cohort count / caps before construction.
+    return std::make_unique<CohortLock>(
+        num_procs, cohort_lock_defaults(),
+        +[](int cohorts) -> std::unique_ptr<RecoverableLock> {
+          return std::make_unique<TicketRLock>(cohorts, "cohort.top");
+        },
+        "cohort");
+  }
+  if (name == "cohort-tournament") {
+    return std::make_unique<CohortLock>(
+        num_procs, cohort_lock_defaults(),
+        +[](int cohorts) -> std::unique_ptr<RecoverableLock> {
+          return std::make_unique<TournamentLock>(cohorts, "cohort.top");
+        },
+        "cohort-tournament");
+  }
 
   std::fprintf(stderr, "unknown lock '%s'; known locks:", name.c_str());
   for (const auto& known : AllLockNames()) {
@@ -67,14 +87,14 @@ std::vector<std::string> AllLockNames() {
   return {"mcs",        "wr",         "gr-adaptive", "gr-semi",
           "tournament", "ya-tournament", "kport-tree", "cw-ticket",
           "sa",         "sa-tournament", "ba",         "ba-tournament",
-          "ba-iter",    "ba-iter-nocursor"};
+          "ba-iter",    "ba-iter-nocursor", "cohort",  "cohort-tournament"};
 }
 
 std::vector<std::string> RecoverableLockNames() {
   return {"wr",        "gr-adaptive",   "gr-semi", "tournament",
           "ya-tournament", "kport-tree", "cw-ticket", "sa",
           "sa-tournament", "ba",        "ba-tournament", "ba-iter",
-          "ba-iter-nocursor"};
+          "ba-iter-nocursor", "cohort", "cohort-tournament"};
 }
 
 }  // namespace rme

@@ -66,7 +66,9 @@ void ArbitratorLock::Enter(Side side, int pid) {
       // locally; the other side wakes us after each releasing write.
       spin_[pid].Store(0, site);
       if (MayEnter(s)) break;
-      while (spin_[pid].Load(site) == 0) SpinPause(iter++);
+      while (spin_[pid].Load(site) == 0) {
+        SpinPause(iter++, spin_[pid].futex_word(), spin_[pid].futex_expected(0));
+      }
     }
     state_[s].Store(kInCS, site);
   }

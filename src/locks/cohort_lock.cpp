@@ -1,0 +1,215 @@
+#include "locks/cohort_lock.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+CohortConfig& cohort_lock_defaults() {
+  static CohortConfig config;
+  return config;
+}
+
+int CohortLock::DetectNumaNodes() {
+#if defined(__linux__)
+  // Count online NUMA nodes. sysfs is authoritative; a machine without
+  // the directory (or a sandbox hiding it) gets one cohort, which makes
+  // CohortLock degrade to "retention wrapper around the top lock".
+  int nodes = 0;
+  char path[64];
+  for (;; ++nodes) {
+    std::snprintf(path, sizeof(path), "/sys/devices/system/node/node%d",
+                  nodes);
+    if (access(path, F_OK) != 0) break;
+  }
+  if (nodes > 0) return nodes;
+#endif
+  return 1;
+}
+
+CohortLock::CohortLock(int num_procs, const CohortConfig& config,
+                       TopFactory top_factory, std::string label)
+    : n_(num_procs),
+      cohorts_(std::clamp(config.cohorts > 0 ? config.cohorts
+                                             : DetectNumaNodes(),
+                          1, num_procs)),
+      cohort_size_((num_procs + cohorts_ - 1) / cohorts_),
+      cfg_(config),
+      label_(std::move(label)) {
+  RME_CHECK(num_procs > 0 && num_procs <= kMaxProcs);
+  RME_CHECK(cfg_.batch_cap > 0 && cfg_.retain_cap > 0);
+  site_ = label_ + ".op";
+  local_.reserve(static_cast<size_t>(cohorts_));
+  for (int c = 0; c < cohorts_; ++c) {
+    // Every sub-lock admits any pid (rank collisions across cohorts are
+    // impossible: only members of cohort c touch local_[c]).
+    local_.push_back(
+        std::make_unique<PortLock>(cohort_size_, num_procs,
+                                   label_ + ".local" + std::to_string(c)));
+  }
+  top_ = top_factory(cohorts_);
+  RME_CHECK(top_ != nullptr);
+  for (int p = 0; p < kMaxProcs; ++p) {
+    retained_[p].set_home(p);
+    batch_len_[p].store(0, std::memory_order_relaxed);
+    retain_run_[p].store(0, std::memory_order_relaxed);
+    last_depth_[p].store(0, std::memory_order_relaxed);
+  }
+  for (int c = 0; c < cohorts_; ++c) {
+    // Home the cohort-shared word at the cohort's first member.
+    top_held_[c].set_home(c * cohort_size_);
+  }
+}
+
+void CohortLock::Recover(int /*pid*/) {
+  // Deliberately empty: every crash window is repaired inside Enter —
+  // local_[c]->Recover handles a torn local passage, top_->Recover a torn
+  // top passage, and the retained_/top_held_ flags are ordered so that
+  // re-running Enter from any interleaving point converges (see Exit).
+}
+
+void CohortLock::Enter(int pid) {
+  const char* site = site_.c_str();
+  if (retained_[pid].Load(site) != 0) {
+    // Retained fast path: we never released after the previous Exit. The
+    // flag is homed here and written only by us, so steady state costs
+    // zero RMRs in both the CC and DSM models.
+    last_depth_[pid].store(0, std::memory_order_relaxed);
+    stat_retained_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int c = CohortOf(pid);
+  const int rank = RankOf(pid);
+  // Local level first (a crashed previous passage is repaired here; both
+  // calls are idempotent under PortLock's state machine, including the
+  // kInCS fall-through when the crash hit after local entry).
+  local_[c]->Recover(rank, pid);
+  local_[c]->Enter(rank, pid);
+  if (top_held_[c].Load(site) == 0) {
+    // We are the cohort's representative; acquire the global lock under
+    // the cohort's pseudo-pid. Recover first: a predecessor from this
+    // cohort may have died mid-top-passage (its kLeaving/kClaiming state
+    // is ours to repair — the pseudo-pid serializes on local_[c]).
+    top_->Recover(c);
+    top_->Enter(c);
+    top_held_[c].Store(1, site);
+    last_depth_[pid].store(2, std::memory_order_relaxed);
+    stat_top_acquire_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Handoff: the previous local holder kept the top lock for us.
+    last_depth_[pid].store(1, std::memory_order_relaxed);
+    stat_local_handoff_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Last step of Enter: marks the full stack held. A crash before this
+  // store re-runs Enter, where the local kInCS fall-through and the
+  // top_held_ check reconverge without double-acquiring anything.
+  retained_[pid].Store(1, site);
+}
+
+uint64_t CohortLock::LocalWaitersRaw(int cohort) const {
+  const uint64_t head = local_[cohort]->HeadTicket();
+  const uint64_t tail = local_[cohort]->TailTicket();
+  return tail > head ? tail - head - 1 : 0;
+}
+
+void CohortLock::Exit(int pid) {
+  const int c = CohortOf(pid);
+  const uint64_t run =
+      retain_run_[pid].fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t batch =
+      batch_len_[c].fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t local_waiters = LocalWaitersRaw(c);
+  // -1 (unobservable) conservatively counts as demand.
+  const bool top_demand = cohorts_ > 1 && top_->QueuedRequests() != 0;
+  const bool local_demand = local_waiters != 0;
+
+  bool keep;
+  if (cfg_.adaptive) {
+    keep = !(top_demand && batch >= cfg_.batch_cap) &&
+           !((local_demand || top_demand) && run >= cfg_.retain_cap);
+  } else {
+    keep = batch < cfg_.batch_cap && run < cfg_.retain_cap;
+  }
+  if (keep) {
+    // Retain the full stack: Exit performs no shared-memory operation at
+    // all. Mutual exclusion is preserved precisely because nothing is
+    // released; the caps (plus OnProcessDone) bound how long demand can
+    // be deferred.
+    return;
+  }
+
+  retain_run_[pid].store(0, std::memory_order_relaxed);
+  // Keeping the top lock is only sound if a cohort-mate is queued to
+  // inherit the release obligation (invariant in the header). Batch
+  // exhaustion forces a top release, but (adaptively) only when a remote
+  // cohort actually wants it — otherwise local handoffs continue under
+  // the same top hold.
+  const bool release_top =
+      (batch >= cfg_.batch_cap && (top_demand || !cfg_.adaptive)) ||
+      local_waiters == 0;
+  const char* site = site_.c_str();
+  // Release order is root-first and flag-before-unlock throughout, so
+  // every crash window re-converges through Enter:
+  //   after retained_=0, before top_held_=0 → Enter sees the local
+  //     kInCS fall-through and top_held_==1: the release is cancelled;
+  //   after top_held_=0, before top_->Exit → Enter re-runs top_->Recover
+  //     (no-op: top state still kInCS) + top_->Enter (immediate reentry);
+  //   mid top_->Exit → top_->Recover finishes the kLeaving segment, then
+  //     top_->Enter re-acquires;
+  //   after top_->Exit, before local exit → Enter re-acquires the top
+  //     lock normally while still holding the local port.
+  retained_[pid].Store(0, site);
+  if (release_top) {
+    batch_len_[c].store(0, std::memory_order_relaxed);
+    top_held_[c].Store(0, site);
+    top_->Exit(c);
+  }
+  local_[c]->Exit(RankOf(pid), pid);
+}
+
+void CohortLock::OnProcessDone(int pid) {
+  // A retained process that stops requesting must surrender the stack
+  // now, or every waiter (local and remote) starves.
+  if (retained_[pid].RawLoad() == 0) return;
+  const char* site = site_.c_str();
+  const int c = CohortOf(pid);
+  retain_run_[pid].store(0, std::memory_order_relaxed);
+  batch_len_[c].store(0, std::memory_order_relaxed);
+  retained_[pid].Store(0, site);
+  // retained_ == 1 implies we are the representative, so the top lock is
+  // ours to release (checked defensively anyway).
+  if (top_held_[c].Load(site) != 0) {
+    top_held_[c].Store(0, site);
+    top_->Exit(c);
+  }
+  local_[c]->Exit(RankOf(pid), pid);
+}
+
+int64_t CohortLock::QueuedRequests() const {
+  int64_t total = 0;
+  for (int c = 0; c < cohorts_; ++c) {
+    total += static_cast<int64_t>(LocalWaitersRaw(c));
+  }
+  const int64_t top = top_->QueuedRequests();
+  return top > 0 ? total + top : total;
+}
+
+std::string CohortLock::StatsString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "cohorts=%d retained=%llu handoff=%llu top=%llu", cohorts_,
+                static_cast<unsigned long long>(
+                    stat_retained_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    stat_local_handoff_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    stat_top_acquire_.load(std::memory_order_relaxed)));
+  return buf;
+}
+
+}  // namespace rme

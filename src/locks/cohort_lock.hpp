@@ -1,0 +1,131 @@
+// CohortLock: a two-level cohort-structured wrapper for the threads≫cores
+// regime (DESIGN.md §11), after Dice–Marathe–Shavit lock cohorting.
+//
+// Processes are partitioned into C cohorts (one per NUMA node by default,
+// overridable for tests). Each cohort arbitrates locally through its own
+// PortLock sub-lock; the winning representative competes for a global
+// recoverable top lock driven with the cohort id as a pseudo-pid. Two
+// batching layers amortize the top lock's Ω(log n / log log n) RMR cost:
+//
+//   * in-cohort handoff: on Exit the cohort keeps the top lock and hands
+//     the local sub-lock to a queued cohort-mate, up to batch_cap
+//     consecutive local passages while another cohort waits;
+//   * per-process retention: a process whose Exit observes no local and
+//     no top demand keeps the *whole* stack (retained fast path: one
+//     cache-hit load per passage), up to retain_cap consecutive passages
+//     once demand appears.
+//
+// Both caps are load-adaptive: with `adaptive` set (default) they bind
+// only while contention is actually observable (raw queue peeks +
+// QueuedRequests() on the top lock), so a solo process never pays a
+// release/reacquire cycle.
+//
+// Recoverability: Recover() is a no-op — every crash window leaves a
+// state from which re-running Enter() converges (the sub-lock's and top
+// lock's own Recover calls inside Enter do the per-layer repair; the
+// retained/top_held flags are written in an order that makes each window
+// idempotent — see the Exit() comments). LastPathDepth reports 0 for a
+// retained passage, 1 for a local handoff, 2 for a full top acquisition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locks/lock.hpp"
+#include "locks/port_lock.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+
+/// Tunables. cohorts == 0 auto-detects the NUMA node count (sysfs, then
+/// a single cohort); tests pass an explicit value for determinism.
+struct CohortConfig {
+  int cohorts = 0;
+  // Max consecutive local passages a cohort keeps the top lock while
+  // another cohort waits (the classic cohort bound).
+  uint32_t batch_cap = 4096;
+  // Max consecutive passages one process keeps the full stack while
+  // anyone (local or remote) waits.
+  uint32_t retain_cap = 512;
+  // Load-adaptive caps: bind only under observed demand. When false the
+  // caps bind unconditionally (release every batch_cap/retain_cap
+  // passages even with zero waiters) — useful for pinning fairness.
+  bool adaptive = true;
+};
+
+/// Process-wide defaults used by the registry factories ("cohort",
+/// "cohort-tournament"); benches/tests override fields before MakeLock.
+CohortConfig& cohort_lock_defaults();
+
+class CohortLock final : public RecoverableLock {
+ public:
+  using TopFactory = std::unique_ptr<RecoverableLock> (*)(int num_cohorts);
+
+  /// `top_factory` builds the global lock over `cohorts` pseudo-pids; it
+  /// is invoked inside this constructor (so a surrounding
+  /// shm::PlacementScope captures the top lock's state too).
+  CohortLock(int num_procs, const CohortConfig& config, TopFactory top_factory,
+             std::string label);
+
+  void Recover(int pid) override;
+  void Enter(int pid) override;
+  void Exit(int pid) override;
+  void OnProcessDone(int pid) override;
+
+  std::string name() const override { return label_; }
+  int LastPathDepth(int pid) const override {
+    return last_depth_[pid].load(std::memory_order_relaxed);
+  }
+  int64_t QueuedRequests() const override;
+  std::string StatsString() const override;
+
+  int num_cohorts() const { return cohorts_; }
+  int CohortOf(int pid) const { return pid / cohort_size_; }
+
+  /// Test hook: raw demand visible in the top queue only (excludes local
+  /// sub-lock waiters, which QueuedRequests() folds in).
+  int64_t TopQueuedRaw() const { return top_->QueuedRequests(); }
+
+  /// Detected NUMA-node count (≥1), before clamping to num_procs.
+  static int DetectNumaNodes();
+
+ private:
+  int RankOf(int pid) const { return pid % cohort_size_; }
+  uint64_t LocalWaitersRaw(int cohort) const;
+  void ReleaseAll(int pid, const char* site);
+
+  const int n_;
+  const int cohorts_;
+  const int cohort_size_;
+  const CohortConfig cfg_;
+  const std::string label_;
+  std::string site_;
+
+  std::vector<std::unique_ptr<PortLock>> local_;  // one per cohort
+  std::unique_ptr<RecoverableLock> top_;          // pseudo-pid = cohort id
+
+  // Protocol state (crash-persistent, instrumented).
+  // retained_[pid] == 1  ⟺  pid holds the full stack across passages.
+  // top_held_[c]   == 1  ⟺  cohort c's representative holds the top lock.
+  // Invariant: top_held_[c] == 1 implies some member of c holds (or has a
+  // claimed ticket for) local_[c] — so the top lock is never parked on a
+  // cohort with nobody obliged to release it.
+  rmr::Atomic<uint64_t> retained_[kMaxProcs];
+  rmr::Atomic<uint64_t> top_held_[kMaxProcs];
+
+  // Policy state (heuristic only; plain atomics — not part of the lock
+  // protocol, so they carry no RMR cost and may lag after a crash, which
+  // at worst shortens or lengthens one batch).
+  std::atomic<uint64_t> batch_len_[kMaxProcs];   // per cohort
+  std::atomic<uint64_t> retain_run_[kMaxProcs];  // per pid
+  std::atomic<int> last_depth_[kMaxProcs];       // per pid
+
+  // Diagnostics for StatsString().
+  std::atomic<uint64_t> stat_retained_{0};
+  std::atomic<uint64_t> stat_local_handoff_{0};
+  std::atomic<uint64_t> stat_top_acquire_{0};
+};
+
+}  // namespace rme

@@ -74,9 +74,12 @@ void GrAdaptiveLock::Enter(int pid) {
         if (pred->next.Load(site) == mine) {
           uint64_t iter = 0;
           while (mine->locked.Load(site) != 0) {
-            SpinPause(iter++);
-            // Remote under DSM; the CC-model caveat in the header.
-            if ((iter & 0x3f) == 0 && epoch_.Load(site) != e) {
+            SpinPause(iter++, mine->locked.futex_word(),
+                      mine->locked.futex_expected(1));
+            // Remote under DSM; the CC-model caveat in the header. Checked
+            // every iteration once parking makes iterations millisecond-
+            // scale (the sparse mask was a hot-spin optimization).
+            if (((iter & 0x3f) == 0 || iter > 16) && epoch_.Load(site) != e) {
               abandoned = true;
               break;
             }
@@ -92,7 +95,10 @@ void GrAdaptiveLock::Enter(int pid) {
     // can at worst send several processes here concurrently.
     uint64_t iter = 0;
     while (!owner_.CompareExchange(0, static_cast<uint64_t>(pid) + 1, site)) {
-      while (owner_.Load(site) != 0) SpinPause(iter++);
+      uint64_t v;
+      while ((v = owner_.Load(site)) != 0) {
+        SpinPause(iter++, owner_.futex_word(), owner_.futex_expected(v));
+      }
     }
     state_[pid].Store(kInCS, site);
   }

@@ -81,8 +81,12 @@ void GrSemiLock::Enter(int pid) {
         if (pred->next.Load(site) == mine) {
           uint64_t iter = 0;
           while (mine->locked.Load(site) != 0) {
-            SpinPause(iter++);
-            if ((iter & 0x3f) == 0 && epoch_.Load(site) != e) {
+            SpinPause(iter++, mine->locked.futex_word(),
+                      mine->locked.futex_expected(1));
+            // Once iterations are stage-3 parks (milliseconds each) the
+            // sparse mask would make divert detection take seconds; an
+            // every-iteration epoch read is then cheap by comparison.
+            if (((iter & 0x3f) == 0 || iter > 16) && epoch_.Load(site) != e) {
               diverted_[pid].Store(1, site);
               break;
             }
@@ -102,7 +106,10 @@ void GrSemiLock::Enter(int pid) {
     }
     uint64_t iter = 0;
     while (!owner_.CompareExchange(0, static_cast<uint64_t>(pid) + 1, site)) {
-      while (owner_.Load(site) != 0) SpinPause(iter++);
+      uint64_t v;
+      while ((v = owner_.Load(site)) != 0) {
+        SpinPause(iter++, owner_.futex_word(), owner_.futex_expected(v));
+      }
     }
     state_[pid].Store(kInCS, site);
   }

@@ -45,6 +45,14 @@ class RecoverableLock {
   /// Free-form per-lock statistics for bench output (paths, levels, ...).
   virtual std::string StatsString() const { return {}; }
 
+  /// Best-effort count of requests currently queued behind the holder
+  /// (uninstrumented raw peek, racy by design; -1 = not observable for
+  /// this lock). Wrappers use it for load-adaptive policies — CohortLock
+  /// lets a batch run on only while this stays 0 — so over-reporting
+  /// merely tightens a cap; it must never claim 0 while a process is
+  /// durably queued.
+  virtual int64_t QueuedRequests() const { return -1; }
+
   /// Depth/level diagnostic for the just-finished passage of `pid`
   /// (BaLock reports the deepest level reached; others report 0).
   virtual int LastPathDepth(int /*pid*/) const { return 0; }

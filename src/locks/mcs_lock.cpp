@@ -20,7 +20,10 @@ void McsLock::Enter(int pid) {
   if (pred != nullptr) {
     pred->next.Store(mine, "mcs.link");
     uint64_t iter = 0;
-    while (mine->locked.Load("mcs.spin") != 0) SpinPause(iter++);
+    while (mine->locked.Load("mcs.spin") != 0) {
+      SpinPause(iter++, mine->locked.futex_word(),
+                mine->locked.futex_expected(1));
+    }
   }
 }
 

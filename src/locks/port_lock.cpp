@@ -85,10 +85,13 @@ void PortLock::Enter(int port, int pid) {
     uint64_t iter = 0;
     while (head_.Load(site) < t) {
       // Arm the local wake flag, close the lost-wakeup window, then spin
-      // locally until our predecessor's release wakes us.
+      // locally until our predecessor's release wakes us. Long waits park
+      // on the flag's futex word: the releasing Store(1) wakes us.
       spin_[pid].Store(0, site);
       if (head_.Load(site) >= t) break;
-      while (spin_[pid].Load(site) == 0) SpinPause(iter++);
+      while (spin_[pid].Load(site) == 0) {
+        SpinPause(iter++, spin_[pid].futex_word(), spin_[pid].futex_expected(0));
+      }
     }
     pstate_[port].Store(kInCS, site);
   }

@@ -26,6 +26,16 @@ class TicketRLock final : public RecoverableLock {
   void Exit(int pid) override { inner_.Exit(pid, pid); }
   std::string name() const override { return "cw-ticket"; }
 
+  int64_t QueuedRequests() const override {
+    // head = the holder's (lowest unreleased) ticket, tail = next free:
+    // tail - head - 1 processes sit queued behind the holder. Raw reads;
+    // tail is advanced helpfully so it can run ahead by at most the one
+    // in-flight claim, which only over-reports (see the base contract).
+    const uint64_t head = inner_.HeadTicket();
+    const uint64_t tail = inner_.TailTicket();
+    return tail > head ? static_cast<int64_t>(tail - head - 1) : 0;
+  }
+
  private:
   PortLock inner_;
 };

@@ -84,7 +84,10 @@ void WrLock::Enter(int pid) {
       pred->next.CompareExchange(nullptr, mine, site);
       if (pred->next.Load(site) == mine) {
         uint64_t iter = 0;
-        while (mine->locked.Load(site) != 0) SpinPause(iter++);
+        while (mine->locked.Load(site) != 0) {
+          SpinPause(iter++, mine->locked.futex_word(),
+                    mine->locked.futex_expected(1));
+        }
       }
       // else: the predecessor sealed its next field (wait-free exit) —
       // the lock was handed to us without a signal.

@@ -122,7 +122,10 @@ void EpochReclaimer::WaitForOut(int pid, int target, uint64_t threshold) {
       break;
     }
     uint64_t iter = 0;
-    while (wake_flag_[pid].Load(site) == 0) SpinPause(iter++);
+    while (wake_flag_[pid].Load(site) == 0) {
+      SpinPause(iter++, wake_flag_[pid].futex_word(),
+                wake_flag_[pid].futex_expected(0));
+    }
   }
 }
 

@@ -1,6 +1,17 @@
 #include "rmr/counters.hpp"
 
+#include <chrono>
+#include <climits>
+#include <ctime>
 #include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "crash/crash.hpp"
 
 namespace rme {
 
@@ -32,6 +43,81 @@ BoundSlot g_bound[kMaxProcs];
 std::atomic<bool> g_abort{false};
 thread_local SimYieldHook tls_yield_hook = nullptr;
 thread_local void* tls_yield_arg = nullptr;
+
+/// The built-in process-local park lot (thread-mode default). The fork
+/// harness swaps in a segment-resident lot via InstallParkLot.
+constinit rmr_detail::ParkLot g_default_park_lot;
+
+/// Wall-clock start of the current wait's stage 2, and the number of
+/// consecutive stage-3 parks within it (drives the timeout doubling).
+/// Both are (re)stamped when a wait first leaves the burst stage, so a
+/// counter reused across waits cannot carry a stale budget forward.
+thread_local uint64_t tls_wait_start_ns = 0;
+thread_local uint32_t tls_park_streak = 0;
+
+uint64_t MonoNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/// Crash-controller consult for the parking protocol's own crash sites
+/// ("h.park.brk" before a waiter publishes itself, "h.unpark.brk" before
+/// a waker's FUTEX_WAKE). Not an instrumented op: no tick, no RMR — the
+/// parking machinery must be invisible to the accounting.
+void ParkSiteConsult(const char* site) {
+#ifndef RME_NATIVE_ATOMICS
+  ProcessContext& ctx = g_tls_context;
+  if ((ctx.fast_flags & ProcessContext::kHasCrash) == 0) return;
+  if (ctx.crash->ShouldCrash(ctx.pid, site, /*after_op=*/true)) {
+    throw ProcessCrash{ctx.pid, site, true, ctx.clock_next};
+  }
+#else
+  (void)site;
+#endif
+}
+
+#if defined(__linux__)
+/// FUTEX_WAIT (shared, so it pairs across fork'd processes on MAP_SHARED
+/// segments) with a bounded timeout; every return reason — wake, value
+/// mismatch, timeout, EINTR — sends the caller back to its recheck loop.
+void FutexWait(const void* addr, uint32_t expected, uint64_t timeout_us) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_us / 1'000'000);
+  ts.tv_nsec = static_cast<long>((timeout_us % 1'000'000) * 1000);
+  syscall(SYS_futex, const_cast<void*>(addr), FUTEX_WAIT, expected, &ts,
+          nullptr, 0);
+}
+#endif
+
+/// Stage 3 with a futex word: publish into the lot (bucket first, then
+/// the total the write probes gate on — both seq_cst, so a writer that
+/// misses the counts is ordered before the kernel's value check and the
+/// wait refuses to sleep), sleep, withdraw. A SIGKILL while parked leaks
+/// the counts in a segment lot; that only costs spurious bucket checks,
+/// and the respawned child's WakeAllParked plus the timeout keep every
+/// surviving waiter live.
+void ParkOn(const void* addr, uint32_t expected, uint64_t timeout_us) {
+  ParkSiteConsult("h.park.brk");  // may throw/SIGKILL: before publishing
+#if defined(__linux__)
+  rmr_detail::ParkLot* lot =
+      rmr_detail::g_park_lot.load(std::memory_order_relaxed);
+  rmr_detail::ParkBucket& b =
+      lot->buckets[rmr_detail::ParkLot::BucketIndex(addr)];
+  b.last_addr.store(reinterpret_cast<uintptr_t>(addr),
+                    std::memory_order_relaxed);
+  b.waiters.fetch_add(1, std::memory_order_seq_cst);
+  lot->total.fetch_add(1, std::memory_order_seq_cst);
+  FutexWait(addr, expected, timeout_us);
+  lot->total.fetch_sub(1, std::memory_order_seq_cst);
+  b.waiters.fetch_sub(1, std::memory_order_seq_cst);
+#else
+  (void)addr;
+  (void)expected;
+  std::this_thread::sleep_for(std::chrono::microseconds(timeout_us));
+#endif
+}
 }  // namespace
 
 ProcessContext* BoundContext(int pid) {
@@ -115,10 +201,16 @@ void SimYieldPoint() {
   if (tls_yield_hook != nullptr) tls_yield_hook(tls_yield_arg);
 }
 
-void SpinPause(uint64_t iteration) {
+SpinConfig& spin_config() {
+  static SpinConfig config;
+  return config;
+}
+
+void SpinPause(uint64_t iteration, const void* futex_word, uint32_t expected) {
   if (tls_yield_hook != nullptr) {
     // Deterministic simulator: hand control back to the fiber scheduler
-    // on every spin iteration (real time plays no role there).
+    // on every spin iteration (real time plays no role there — parking
+    // and wall-clock budgets are disabled under the hook).
     tls_yield_hook(tls_yield_arg);
     return;
   }
@@ -146,7 +238,89 @@ void SpinPause(uint64_t iteration) {
       g_abort.load(std::memory_order_relaxed)) {
     throw RunAborted{};
   }
-  std::this_thread::yield();
+  const SpinConfig& sc = spin_config();
+  if (iteration == kSpinIters) {
+    // First post-burst iteration of this wait: open the stage-2 wall-
+    // clock budget and reset the park-timeout doubling.
+    tls_wait_start_ns = MonoNanos();
+    tls_park_streak = 0;
+  }
+  // Stage 2 is bounded by wall clock, not iterations: with threads >>
+  // cores each yield can burn a whole scheduling quantum, so an
+  // iteration cap either escalates instantly (cap too low for the
+  // contended-but-running case) or spins for quanta (cap too high for
+  // the descheduled-holder case). ROADMAP item 4.
+  const uint64_t budget_ns = uint64_t{sc.spin_budget_us} * 1000;
+  if (budget_ns > 0 && MonoNanos() - tls_wait_start_ns < budget_ns) {
+    std::this_thread::yield();
+    return;
+  }
+  // Stage 3 — the wait is long: stop consuming CPU. Timeouts double per
+  // consecutive park in this wait (short first naps keep a lost-wake
+  // hiccup cheap; later naps amortize the syscall) up to park_max_us.
+  // Every stage-3 entry re-checks the abort flag: iterations now cost
+  // milliseconds, so the masked check above would be too sparse.
+  if (g_abort.load(std::memory_order_relaxed)) throw RunAborted{};
+  const uint32_t streak = tls_park_streak;
+  tls_park_streak = streak + 1;
+  if (sc.park_enabled && futex_word != nullptr) {
+    uint64_t timeout_us = uint64_t{sc.park_min_us == 0 ? 1 : sc.park_min_us}
+                          << (streak < 6 ? streak : 6);
+    if (timeout_us > sc.park_max_us) timeout_us = sc.park_max_us;
+    ParkOn(futex_word, expected, timeout_us);
+  } else {
+    // No futex word (pointer-valued waits, park disabled): bounded naps,
+    // growing 50us -> 800us. Short relative to park timeouts because
+    // nothing wakes a sleeper early — the nap itself is the latency.
+    uint64_t nap_us = uint64_t{50} << (streak < 4 ? streak : 4);
+    std::this_thread::sleep_for(std::chrono::microseconds(nap_us));
+  }
+}
+
+void SpinPause(uint64_t iteration) { SpinPause(iteration, nullptr, 0); }
+
+namespace rmr_detail {
+
+constinit std::atomic<ParkLot*> g_park_lot{&g_default_park_lot};
+
+void FutexWakeSlow(ParkLot* lot, const void* addr) {
+#if defined(__linux__)
+  ParkBucket& b = lot->buckets[ParkLot::BucketIndex(addr)];
+  if (b.waiters.load(std::memory_order_seq_cst) == 0) return;
+  // A waiter may be parked on this address: this store is a wake
+  // obligation. The consult sits between the store (already visible) and
+  // the FUTEX_WAKE, so an injected kill here produces exactly the torn
+  // wake the timeout backstop must rescue.
+  ParkSiteConsult("h.unpark.brk");
+  syscall(SYS_futex, const_cast<void*>(addr), FUTEX_WAKE, INT_MAX, nullptr,
+          nullptr, 0);
+#else
+  (void)lot;
+  (void)addr;
+#endif
+}
+
+}  // namespace rmr_detail
+
+rmr_detail::ParkLot* InstallParkLot(rmr_detail::ParkLot* lot) {
+  return rmr_detail::g_park_lot.exchange(
+      lot != nullptr ? lot : &g_default_park_lot,
+      std::memory_order_seq_cst);
+}
+
+void WakeAllParked() {
+#if defined(__linux__)
+  rmr_detail::ParkLot* lot =
+      rmr_detail::g_park_lot.load(std::memory_order_relaxed);
+  if (lot->total.load(std::memory_order_seq_cst) == 0) return;
+  for (rmr_detail::ParkBucket& b : lot->buckets) {
+    if (b.waiters.load(std::memory_order_seq_cst) == 0) continue;
+    const uint64_t addr = b.last_addr.load(std::memory_order_relaxed);
+    if (addr == 0) continue;
+    syscall(SYS_futex, reinterpret_cast<void*>(addr), FUTEX_WAKE, INT_MAX,
+            nullptr, nullptr, 0);
+  }
+#endif
 }
 
 }  // namespace rme

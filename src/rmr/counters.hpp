@@ -65,16 +65,68 @@ inline void CpuRelax() {
 #endif
 }
 
+/// Tunables for the staged spin-wait (SpinPause). Mutable global, read on
+/// the slow (post-burst) path only; set before starting workers. The fork
+/// harness overrides spin_budget_us per run (ForkCrashConfig) and restores
+/// it afterwards.
+struct SpinConfig {
+  /// Stage-3 waits use futex parking when the caller supplies a futex
+  /// word; false falls back to bounded sleeps (measurement ablation).
+  bool park_enabled = true;
+  /// Stage-2 wall-clock budget: total time spent yielding before a wait
+  /// escalates to stage 3 (parking/sleeping). 0 escalates immediately.
+  /// Iteration counts alone under-escalate when the holder is descheduled
+  /// (threads >> cores): each yield can burn a scheduling quantum.
+  uint32_t spin_budget_us = 100;
+  /// First park timeout; doubles per consecutive park within one wait.
+  /// The timeout is a liveness backstop, not the wake path: it rescues
+  /// waiters whose waker was SIGKILLed between its store and its wake.
+  uint32_t park_min_us = 1000;
+  /// Park timeout ceiling (bounds lost-wake rescue latency and the
+  /// watchdog-visible progress gap of a parked process).
+  uint32_t park_max_us = 50000;
+};
+SpinConfig& spin_config();
+
 /// Cooperative back-off used inside spin loops, in escalating stages by
 /// iteration count: a short pure-spin window with exponentially growing
 /// `CpuRelax` bursts (cheap when the wait is tens of cycles), then OS
-/// yields so oversubscribed runs make progress. Throws RunAborted if a
-/// global abort has been requested (checked every few yields, not every
-/// one). Under the deterministic simulator, yields to the fiber scheduler
-/// instead. Callers pass a per-wait iteration counter that grows without
-/// bound (`SpinPause(iter++)`), which the staging and the abort-check
-/// period rely on.
+/// yields so oversubscribed runs make progress, and — once the yields
+/// have burned spin_config().spin_budget_us of wall clock — bounded
+/// sleeps, so a descheduled holder doesn't make every waiter spin whole
+/// scheduling quanta. Throws RunAborted if a global abort has been
+/// requested (checked every few yields, not every one). Under the
+/// deterministic simulator, yields to the fiber scheduler instead.
+/// Callers pass a per-wait iteration counter that grows without bound
+/// (`SpinPause(iter++)`), which the staging and the abort-check period
+/// rely on.
 void SpinPause(uint64_t iteration);
+
+/// Parking variant: same staging, but stage 3 parks the caller on
+/// `futex_word` (FUTEX_WAIT, shared) while it still holds `expected` —
+/// the kernel's value check closes the lost-wakeup race against a
+/// concurrent writer. Wait loops pass the awaited rmr::Atomic's
+/// futex_word()/futex_expected(v) for the value they just observed; any
+/// instrumented write to that variable wakes the parked waiters (the
+/// write probes call rmr_detail::MaybeWakeParked). Timeouts per
+/// SpinConfig back-stop wakers that died between store and wake. Parking
+/// consults the crash controller at site "h.park.brk" (before the waiter
+/// count is published), so the fork harness can SIGKILL a process on the
+/// edge of parking; the wake path consults "h.unpark.brk".
+void SpinPause(uint64_t iteration, const void* futex_word, uint32_t expected);
+
+/// Installs the park lot used by SpinPause parking and the write-probe
+/// wake hook; returns the previous lot. The fork harness points this at a
+/// segment-resident lot before forking (children inherit the pointer), so
+/// waiter counts are shared across processes; nullptr restores the
+/// built-in process-local lot.
+rmr_detail::ParkLot* InstallParkLot(rmr_detail::ParkLot* lot);
+
+/// Wakes every parked waiter in the current lot (FUTEX_WAKE on each
+/// bucket's last-parked address). Recovery aid: a respawned fork-harness
+/// child calls this so waiters parked across a SIGKILL-torn wake resume
+/// immediately instead of riding out their timeout.
+void WakeAllParked();
 
 /// Fiber-scheduler integration (sim/fiber_sim): when a hook is installed
 /// on the calling thread, every instrumented shared-memory operation and

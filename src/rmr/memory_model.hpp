@@ -294,6 +294,59 @@ namespace rmr_detail {
 void ProbePreSlow(ProcessContext& ctx, const char* site);
 void ProbePostSlow(ProcessContext& ctx, const char* site);
 
+/// One park-lot bucket: a waiter count plus the address most recently
+/// parked on (a recovery hint for WakeAllParked, not a correctness
+/// input). Cache-line aligned so parking traffic on one bucket never
+/// invalidates a neighbour consulted by an unrelated waker.
+struct alignas(kCacheLineBytes) ParkBucket {
+  std::atomic<uint32_t> waiters{0};
+  std::atomic<uint64_t> last_addr{0};
+};
+
+/// Hashed registry of futex-parked waiters (DESIGN.md §11). The write
+/// probes consult `total` after every instrumented write — two relaxed-ish
+/// loads when nobody is parked — and fall into FutexWakeSlow only when a
+/// wake might matter, so lock code needs no explicit wake calls. Lives in
+/// ordinary memory by default; the fork harness installs a segment-
+/// resident instance (InstallParkLot) so the counts — and therefore the
+/// wake obligations — are shared across processes.
+struct ParkLot {
+  static constexpr int kBucketCount = 64;
+  /// Sum of all bucket waiter counts; the write probes' single gate.
+  /// Alone on its line: every parker writes it, every writer reads it.
+  alignas(kCacheLineBytes) std::atomic<uint64_t> total{0};
+  ParkBucket buckets[kBucketCount];
+
+  static int BucketIndex(const void* addr) {
+    // Fibonacci hash of the cache-line number; rmr::Atomic is line-
+    // aligned so the low 6 bits carry nothing.
+    const uint64_t line = reinterpret_cast<uintptr_t>(addr) >> 6;
+    return static_cast<int>((line * 0x9E3779B97F4A7C15ull) >> 58);
+  }
+};
+
+/// The active lot (swapped by InstallParkLot; never null). constinit so
+/// the inline wake gate compiles to a bare load.
+extern constinit std::atomic<ParkLot*> g_park_lot;
+
+/// Out-of-line wake: re-checks the bucket, consults the crash controller
+/// at "h.unpark.brk" (instrumented builds), then FUTEX_WAKEs every waiter
+/// on `addr`. In counters.cpp.
+void FutexWakeSlow(ParkLot* lot, const void* addr);
+
+/// Post-write wake gate, called by every instrumented (and native) write
+/// probe after the store takes effect. seq_cst load of the waiter total:
+/// it must not be read ahead of the just-issued store, or a waiter
+/// publishing itself between the two would be missed (its FUTEX_WAIT
+/// value check and this load are ordered by the same SC total order that
+/// covers the store). Free in practice on x86 — the preceding seq_cst
+/// store already fenced.
+inline void MaybeWakeParked(const void* addr) {
+  ParkLot* lot = g_park_lot.load(std::memory_order_relaxed);
+  if (lot->total.load(std::memory_order_seq_cst) == 0) [[likely]] return;
+  FutexWakeSlow(lot, addr);
+}
+
 /// First half of the mirror flush: the cc/dsm pair, one 16-byte store on
 /// x86-64 (the pair is 16-aligned inside the owner's own cache line, so
 /// each 8-byte half lands whole; cross-process readers only need the
@@ -461,7 +514,9 @@ class alignas(kCacheLineBytes) Atomic {
   }
 
 #ifdef RME_NATIVE_ATOMICS
-  // Native mode: bare atomics, no probes. Sites are ignored.
+  // Native mode: bare atomics, no probes. Sites are ignored. Writes still
+  // run the two-load parked-waiter gate — native waits park through the
+  // same SpinPause, so native wakers carry the same wake obligation.
   //
   // Deliberately seq_cst: the arbitrator's Peterson-style handshake
   // (store my flag, then read the other side's flag) is the classic
@@ -473,28 +528,39 @@ class alignas(kCacheLineBytes) Atomic {
   }
   void Store(T v, const char* = "") {
     value_.store(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
   }
   T Exchange(T v, const char* = "") {
-    return value_.exchange(v, std::memory_order_seq_cst);
+    T old = value_.exchange(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
+    return old;
   }
   bool CompareExchange(T expected, T desired, const char* = "") {
-    return value_.compare_exchange_strong(expected, desired,
-                                          std::memory_order_seq_cst);
+    bool ok = value_.compare_exchange_strong(expected, desired,
+                                             std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
+    return ok;
   }
   T FetchOr(T bits, const char* = "")
     requires std::is_integral_v<T>
   {
-    return value_.fetch_or(bits, std::memory_order_seq_cst);
+    T old = value_.fetch_or(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
+    return old;
   }
   T FetchAnd(T bits, const char* = "")
     requires std::is_integral_v<T>
   {
-    return value_.fetch_and(bits, std::memory_order_seq_cst);
+    T old = value_.fetch_and(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
+    return old;
   }
   T FetchAdd(T delta, const char* = "")
     requires std::is_integral_v<T>
   {
-    return value_.fetch_add(delta, std::memory_order_seq_cst);
+    T old = value_.fetch_add(delta, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
+    return old;
   }
 #else
   /// Instrumented read.
@@ -506,11 +572,18 @@ class alignas(kCacheLineBytes) Atomic {
     return v;
   }
 
-  /// Instrumented write.
+  /// Instrumented write. The parked-waiter gate (MaybeWakeParked) runs
+  /// after the store takes effect and before the post-op crash consult:
+  /// an injected "crash after this instruction" then models a process
+  /// that died after waking its successors — the torn other order (store
+  /// landed, wake lost) is exactly what the "h.unpark.brk" crash site and
+  /// the park-timeout backstop exist to cover. Wake gating issues no
+  /// instrumented ops, so RMR counts are unchanged (rmr_invariance_test).
   void Store(T v, const char* site = "store") {
     rmr_detail::OpProbe probe(site);
     probe.CountWrite(home_, cc_mask_);
     value_.store(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
   }
 
@@ -523,6 +596,7 @@ class alignas(kCacheLineBytes) Atomic {
     rmr_detail::OpProbe probe(site);
     probe.CountWrite(home_, cc_mask_);
     T old = value_.exchange(v, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
     return old;
   }
@@ -534,6 +608,7 @@ class alignas(kCacheLineBytes) Atomic {
     probe.CountWrite(home_, cc_mask_);
     bool ok = value_.compare_exchange_strong(expected, desired,
                                              std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
     return ok;
   }
@@ -545,6 +620,7 @@ class alignas(kCacheLineBytes) Atomic {
     rmr_detail::OpProbe probe(site);
     probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_or(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
     return old;
   }
@@ -556,6 +632,7 @@ class alignas(kCacheLineBytes) Atomic {
     rmr_detail::OpProbe probe(site);
     probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_and(bits, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
     return old;
   }
@@ -567,10 +644,31 @@ class alignas(kCacheLineBytes) Atomic {
     rmr_detail::OpProbe probe(site);
     probe.CountWrite(home_, cc_mask_);
     T old = value_.fetch_add(delta, std::memory_order_seq_cst);
+    rmr_detail::MaybeWakeParked(&value_);
     probe.Done();
     return old;
   }
 #endif  // RME_NATIVE_ATOMICS
+
+  /// The address SpinPause parks on for this variable: the value word
+  /// itself, so every writer's MaybeWakeParked(&value_) targets the same
+  /// futex. FUTEX_WAIT examines the 32 bits at the address; on the
+  /// little-endian targets we run on that is the low half of the value,
+  /// which is what futex_expected() extracts.
+  const void* futex_word() const {
+    static_assert(sizeof(std::atomic<T>) >= 4,
+                  "futex needs a 32-bit word to examine");
+    return static_cast<const void*>(&value_);
+  }
+
+  /// The 32-bit futex comparand for an observed value `v`: pass the value
+  /// the wait loop just read, so the kernel re-checks it under its own
+  /// lock and refuses to sleep if a writer got in between.
+  static uint32_t futex_expected(T v)
+    requires std::is_integral_v<T>
+  {
+    return static_cast<uint32_t>(static_cast<uint64_t>(v));
+  }
 
  private:
   mutable std::atomic<T> value_;

@@ -62,6 +62,11 @@ using shm::ShmEvent;
   CurrentProcess() = ProcessContext{};
   ProcessBinding bind(pid, crash,
                       cfg.mirror_counters ? &ctl->pid_counters[pid] : nullptr);
+  // Wake every parked waiter in the segment lot: our corpse may have
+  // been the writer a parked process was waiting on. The growing park
+  // timeouts would recover them anyway; this makes recovery prompt and
+  // exercises the cross-process wake path on every respawn.
+  WakeAllParked();
   ProcessContext& ctx = CurrentProcess();
   const OpCounters* cnt = cfg.mirror_counters ? &ctx.counters : nullptr;
   // Stream derived from (pid, incarnation): a respawn must not replay its
@@ -458,6 +463,16 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
     ctl->log = seg.NewArray<ShmEvent>(ctl->log_cap);
   }
   auto* cs_scratch = seg.New<rmr::Atomic<uint64_t>>(0);
+
+  // Stage-3 futex parking must cross process boundaries: install the
+  // segment-resident lot (and any spin-budget override) process-wide
+  // *before* the first fork so every child inherits both. Restored on
+  // the way out — later same-process runs park in their own segments.
+  rmr_detail::ParkLot* prev_lot = InstallParkLot(&ctl->park_lot);
+  const SpinConfig saved_spin = spin_config();
+  if (cfg.spin_budget_us >= 0) {
+    spin_config().spin_budget_us = static_cast<uint32_t>(cfg.spin_budget_us);
+  }
 
   // Crash controller chain in the segment: the PRNG streams, hit counts,
   // and kill budgets must be shared across respawns and processes, or
@@ -883,6 +898,8 @@ ForkCrashResult RunForkCrashWorkload(const std::string& lock_name,
     }
   }
   result.lock_stats = lock->StatsString();
+  spin_config() = saved_spin;
+  InstallParkLot(prev_lot);
   return result;
   // `lock` (destroyed first) runs its destructors against the segment;
   // operator delete recognizes segment pointers and leaves them to the

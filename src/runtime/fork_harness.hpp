@@ -106,6 +106,12 @@ struct ForkCrashConfig {
   double hang_seconds = 10.0;
   int max_hang_respawns = 3;
 
+  /// Spin→park budget override for this run: microseconds a waiter
+  /// spins/yields before parking on a futex in the segment (see
+  /// rme::SpinConfig). Negative keeps the process-wide default; 0 parks
+  /// at the first slow-path iteration — the park/unpark stress regime.
+  int32_t spin_budget_us = -1;
+
   double watchdog_seconds = 30.0;  ///< global no-progress abort (backstop)
   size_t segment_bytes = 64u << 20;
   std::string shm_name;  ///< non-empty: named POSIX segment, else anonymous

@@ -171,6 +171,15 @@ struct ShmControl {
   /// false-sharing discipline is preserved; a SIGKILL loses at most the
   /// owner's one in-flight op.
   SharedOpCounters pid_counters[kMaxProcs];
+
+  /// Stage-3 futex parking lot (rmr::SpinPause): homed in the segment so
+  /// children of the fork tree park and wake each other across process
+  /// boundaries — FUTEX_WAIT/WAKE on MAP_SHARED words, no
+  /// FUTEX_PRIVATE_FLAG. The harness installs it process-wide before the
+  /// first fork. A SIGKILL of a parked waiter leaks its waiter counts;
+  /// that only costs wakers spurious bucket checks, never a lost wakeup
+  /// (parks carry growing timeouts and respawns call WakeAllParked).
+  rmr_detail::ParkLot park_lot;
 };
 
 /// Reserves one log slot (any process). The slot stays kInvalid until

@@ -15,6 +15,21 @@
 namespace rme {
 namespace {
 
+// The contended-wait tests below use spin-iteration counts (ops per
+// passage, DSM growth with CS length) as the observable; the stage-3
+// futex parking removes exactly those re-loads — a parked waiter issues
+// no instrumented ops — so they pin the pure spinning regime.
+struct ScopedSpinOnly {
+  SpinConfig saved = spin_config();
+  ScopedSpinOnly() {
+    spin_config().park_enabled = false;
+    // No wall-clock stage-2 cap either: with the cap, long waits decay
+    // into bounded naps, which also suppresses the re-load counts.
+    spin_config().spin_budget_us = 1'000'000'000u;
+  }
+  ~ScopedSpinOnly() { spin_config() = saved; }
+};
+
 TEST(DsmLocality, QNodeFieldsAreHomedAtOwner) {
   QNode node;
   node.SetHome(5);
@@ -72,6 +87,7 @@ TEST(DsmLocality, ArbitratorAndPortLockWaitLocally) {
   // stacks must stay far below the spin-iteration count (which the cc
   // model would also bound, but DSM is the one that exposes a remote
   // spin instantly).
+  ScopedSpinOnly spin_only;
   for (const std::string name : {"sa", "ba", "kport-tree", "cw-ticket"}) {
     auto lock = MakeLock(name, 8);
     WorkloadConfig cfg;
@@ -93,6 +109,7 @@ TEST(DsmLocality, GrLocksAreKnownRemoteSpinners) {
   // The signature (robust to how often SpinPause yields): per-passage
   // DSM grows with how long waiters wait, while CC stays flat — a
   // local-spin lock bounds both.
+  ScopedSpinOnly spin_only;
   auto run = [](int cs_ops, int cs_yields) {
     auto lock = MakeLock("gr-adaptive", 8);
     WorkloadConfig cfg;

@@ -1,17 +1,34 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the instrumentation probe (CI perf-smoke job).
+"""Perf-regression gates for the CI perf-smoke job.
 
-Compares a fresh bench_instr_overhead run (raw google-benchmark JSON from
---benchmark_out) against the committed BENCH_instr_overhead.json snapshot
-and fails if the single-thread instr_over_native ratio regressed by more
-than --tolerance (relative). The gate runs on the ratio, not absolute
-nanoseconds, so it is insensitive to the runner's clock speed; only the
-uncontended single-thread ratio is gated because the multi-thread points
-on shared CI runners are too noisy to gate at 15%.
+Two modes, selected with --mode:
+
+overhead (default)
+  Compares a fresh bench_instr_overhead run (raw google-benchmark JSON
+  from --benchmark_out) against the committed BENCH_instr_overhead.json
+  snapshot and fails if the single-thread instr_over_native ratio
+  regressed by more than --tolerance (relative). The gate runs on the
+  ratio, not absolute nanoseconds, so it is insensitive to the runner's
+  clock speed; only the uncontended single-thread ratio is gated because
+  the multi-thread points on shared CI runners are too noisy at 15%.
+
+throughput
+  Compares a fresh `bench_throughput --json_out` run against the
+  committed BENCH_throughput.json snapshot:
+    * the all-locks aggregate items/s at 8 threads must not drop more
+      than --tolerance below the snapshot;
+    * the oversubscribed (256-thread) cohort parking series must not
+      drop more than --tolerance below the snapshot;
+  plus two absolute acceptance gates that track throughput, not a
+  snapshot (so they cannot ratchet downward across PRs):
+    * cohort items/s at 8 threads must exceed --cohort-floor;
+    * the oversubscribed spin/park CPU-per-passage ratio must be at
+      least --cpu-ratio-floor (parking must actually save CPU time in
+      the threads >> cores regime).
 
 Usage:
   check_overhead_regression.py fresh.json \
-      [--snapshot BENCH_instr_overhead.json] [--tolerance 0.15]
+      [--mode overhead|throughput] [--snapshot FILE] [--tolerance 0.15]
 """
 import argparse
 import json
@@ -28,17 +45,9 @@ def per_iter_time(doc, family, threads):
     return None
 
 
-def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("fresh", help="raw JSON from bench_instr_overhead")
-    ap.add_argument("--snapshot", default="BENCH_instr_overhead.json")
-    ap.add_argument("--tolerance", type=float, default=0.15,
-                    help="max allowed relative regression (default 0.15)")
-    ap.add_argument("--threads", type=int, default=1)
-    args = ap.parse_args()
-
+def overhead_mode(args):
     fresh = json.load(open(args.fresh))
-    snap = json.load(open(args.snapshot))
+    snap = json.load(open(args.snapshot or "BENCH_instr_overhead.json"))
 
     native = per_iter_time(fresh, "native_fetch_add", args.threads)
     instr = per_iter_time(fresh, "instr_fetch_add", args.threads)
@@ -55,6 +64,73 @@ def main():
           f"(fresh {instr:.1f}ns / {native:.1f}ns), committed {committed:.2f}, "
           f"limit {limit:.2f} (+{args.tolerance:.0%})")
     return 0 if ratio <= limit else 1
+
+
+def throughput_mode(args):
+    fresh = json.load(open(args.fresh))
+    snap = json.load(open(args.snapshot or "BENCH_throughput.json"))
+    ok = True
+
+    def gate_floor(label, value, floor, detail=""):
+        nonlocal ok
+        good = value >= floor
+        ok = ok and good
+        print(f"{'OK' if good else 'FAIL'}: {label} = {value:,.0f} "
+              f"(floor {floor:,.0f}){detail}")
+
+    # Snapshot-relative gates: throughput may only drop --tolerance below
+    # the committed numbers (improvements always pass and get committed
+    # as the next snapshot).
+    f_agg = fresh["aggregate_items_per_second_by_threads"]["8"]
+    s_agg = snap["aggregate_items_per_second_by_threads"]["8"]
+    gate_floor("aggregate items/s @8t", f_agg,
+               s_agg * (1.0 - args.tolerance),
+               f" [snapshot {s_agg:,.0f}, -{args.tolerance:.0%}]")
+
+    f_park = fresh["oversubscribed"]["park"]["items_per_second"]
+    s_park = snap["oversubscribed"]["park"]["items_per_second"]
+    threads = fresh["oversubscribed"]["threads"]
+    gate_floor(f"oversubscribed({threads}t) park items/s", f_park,
+               s_park * (1.0 - args.tolerance),
+               f" [snapshot {s_park:,.0f}, -{args.tolerance:.0%}]")
+
+    # Absolute acceptance gates (snapshot-independent).
+    cohort8 = fresh["items_per_second"]["cohort"]["8"]
+    gate_floor("cohort items/s @8t", cohort8, args.cohort_floor)
+
+    ratio = fresh["oversubscribed"]["cpu_ratio_spin_over_park"]
+    good = ratio >= args.cpu_ratio_floor
+    ok = ok and good
+    park_us = fresh["oversubscribed"]["park"]["cpu_us_per_passage"]
+    spin_us = fresh["oversubscribed"]["spin"]["cpu_us_per_passage"]
+    print(f"{'OK' if good else 'FAIL'}: cpu_ratio_spin_over_park = "
+          f"{ratio:.2f} (floor {args.cpu_ratio_floor:.2f}; "
+          f"spin {spin_us:.3f}us vs park {park_us:.3f}us per passage)")
+
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("fresh", help="fresh benchmark JSON to gate")
+    ap.add_argument("--mode", choices=("overhead", "throughput"),
+                    default="overhead")
+    ap.add_argument("--snapshot", default=None,
+                    help="committed snapshot (default depends on mode)")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="max allowed relative regression (default 0.15)")
+    ap.add_argument("--threads", type=int, default=1,
+                    help="[overhead] thread count to gate")
+    ap.add_argument("--cohort-floor", type=float, default=9.9e6,
+                    help="[throughput] min cohort items/s at 8 threads")
+    ap.add_argument("--cpu-ratio-floor", type=float, default=2.0,
+                    help="[throughput] min oversubscribed spin/park "
+                         "CPU-per-passage ratio")
+    args = ap.parse_args()
+
+    if args.mode == "throughput":
+        return throughput_mode(args)
+    return overhead_mode(args)
 
 
 if __name__ == "__main__":

@@ -93,6 +93,15 @@ print("overhead ratios:", json.dumps(ratios, indent=1))
 print("throughput aggregates:", agg)
 EOF
 
+# Throughput snapshot for the CI perf gate: per-lock items/s at 1/4/8
+# threads plus the oversubscribed 256-thread cohort series (futex parking
+# on vs off, with getrusage CPU time). The driver writes the JSON itself.
+"$BUILD_DIR"/bench/bench_throughput \
+  --json_out=BENCH_throughput.json \
+  --duration_ms=150 --oversub_threads=256 --oversub_duration_ms=600 \
+  >/dev/null
+echo "wrote BENCH_throughput.json"
+
 # Fork-mode RMR under genuine SIGKILLs: the bench writes the JSON itself
 # (and exits nonzero on any verdict/accounting failure, aborting here).
 "$BUILD_DIR"/bench/bench_fork_crash \
