@@ -1,0 +1,162 @@
+// rme-lockd kill matrix: the multi-process client driver for the
+// persistent named-lock service (runtime/lockd_driver). One named
+// /dev/shm segment survives the whole run — across client SIGKILLs,
+// daemon SIGKILL/restart cycles, and (with --cycles > 1) across complete
+// driver teardowns that reattach the surviving segment and keep going.
+//
+// Kill sources: parent-side random client kills and timed daemon kills
+// (--client_kills / --daemon_kills, paced by --interval_ms), child-side
+// per-op random kills (--self_prob / --self_budget) and site-precise
+// kills (--site=ld.enter.brk --site_slot=2 --site_nth=1 --site_count=8),
+// plus *targeted* daemon kills that fire exactly while the segment holds
+// a dead client's mid-handshake slot or mid-insert directory entry
+// (--hs_kills / --ins_kills; pair with --site=ld.lease.brk or
+// --site=ld.insert.brk to manufacture those windows).
+//
+// Gates (exit 1): any ME/BCSR violation or phantom crash note in the
+// per-entry event log, log overflow, hangs or watchdog fires, child
+// errors, unfinished client quotas, a leaked /dev/shm entry after the
+// final cycle — and, when a kill source was requested, zero delivery
+// from it (a silent no-op injection is a harness bug, not a pass).
+//
+// Flags: --clients=8 --slots=8 --names=12 --acquires=300 --cs_ops=2
+//        --lease_every=0 (passages per lease; >0 required when
+//        clients > slots) --lock=ba --seed=42 --cycles=1
+//        --client_kills=100 --daemon_kills=10 --hs_kills=0 --ins_kills=0
+//        --interval_ms=2 --self_prob=0 --self_budget=0
+//        --site= --site_slot=0 --site_nth=1 --site_count=1
+//        --spin_budget_us=-1 --shm_name=rme-lockd-bench
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "runtime/lockd_driver.hpp"
+
+namespace rme {
+
+int BenchMain(int argc, char** argv) {
+  Cli cli(argc, argv);
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = cli.GetString("shm_name", "rme-lockd-bench");
+  cfg.lock_kind = cli.GetString("lock", "ba");
+  cfg.num_clients = static_cast<int>(cli.GetInt("clients", 8));
+  cfg.num_slots = static_cast<int>(cli.GetInt("slots", 8));
+  cfg.num_names = static_cast<int>(cli.GetInt("names", 12));
+  cfg.acquires_per_client = static_cast<uint64_t>(cli.GetInt("acquires", 300));
+  cfg.cs_shared_ops = static_cast<int>(cli.GetInt("cs_ops", 2));
+  cfg.lease_passages = static_cast<uint64_t>(cli.GetInt("lease_every", 0));
+  cfg.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  cfg.client_kills = static_cast<uint64_t>(cli.GetInt("client_kills", 100));
+  cfg.daemon_kills = static_cast<uint64_t>(cli.GetInt("daemon_kills", 10));
+  cfg.daemon_kills_in_handshake =
+      static_cast<uint64_t>(cli.GetInt("hs_kills", 0));
+  cfg.daemon_kills_in_insert = static_cast<uint64_t>(cli.GetInt("ins_kills", 0));
+  cfg.kill_interval_ms = cli.GetDouble("interval_ms", 2.0);
+  cfg.self_kill_per_op = cli.GetDouble("self_prob", 0.0);
+  cfg.self_kill_budget = cli.GetInt("self_budget", 0);
+  cfg.site_kill_site = cli.GetString("site", "");
+  cfg.site_kill_slot = static_cast<int>(cli.GetInt("site_slot", 0));
+  cfg.site_kill_nth = static_cast<uint64_t>(cli.GetInt("site_nth", 1));
+  cfg.site_kill_count = static_cast<uint64_t>(cli.GetInt("site_count", 1));
+  cfg.spin_budget_us = static_cast<int32_t>(cli.GetInt("spin_budget_us", -1));
+  cfg.daemon_sweep_us = static_cast<uint32_t>(cli.GetInt("sweep_us", 300));
+  const int cycles = static_cast<int>(cli.GetInt("cycles", 1));
+  // Oversubscription needs lease cycling; default it on rather than abort
+  // so --clients=16 --slots=8 "just works".
+  if (cfg.num_clients > cfg.num_slots && cfg.lease_passages == 0) {
+    cfg.lease_passages = 5;
+  }
+
+  bench::PrintHeader(
+      "rme-lockd kill matrix — named-segment lock service under client "
+      "and daemon SIGKILLs (clients=" + std::to_string(cfg.num_clients) +
+          ", slots=" + std::to_string(cfg.num_slots) + ")",
+      "one named segment survives every client kill, daemon restart, and "
+      "driver cycle with zero ME/BCSR violations and no /dev/shm leak");
+
+  Table table({"cycle", "passages", "c-kills", "site", "d-kills", "hs",
+               "ins", "takeovr", "recov", "ME", "BCSR", "phantom",
+               "wall s"});
+
+  bool all_clean = true;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    lockd::LockdDriverConfig run = cfg;
+    run.attach_existing = cycle > 0;
+    run.persist_segment = cycle + 1 < cycles;
+    std::fprintf(stderr,
+                 "[run] cycle %d/%d %s '%s' (lock=%s)\n", cycle + 1, cycles,
+                 run.attach_existing ? "reattaching segment"
+                                     : "creating segment",
+                 run.shm_name.c_str(), run.lock_kind.c_str());
+    const lockd::LockdDriverResult r = lockd::RunLockdWorkload(run);
+
+    table.AddRow({std::to_string(cycle + 1), Table::Int(r.completed),
+                  Table::Int(r.client_kill_deaths),
+                  Table::Int(r.child_site_kills),
+                  Table::Int(r.daemon_kill_deaths),
+                  Table::Int(r.daemon_kills_handshake),
+                  Table::Int(r.daemon_kills_insert),
+                  Table::Int(r.daemon_takeovers), Table::Int(r.recovered_slots),
+                  Table::Int(r.me_violations), Table::Int(r.bcsr_violations),
+                  Table::Int(r.phantom_crash_notes), Table::Num(r.wall_seconds)});
+
+    if (!r.Clean()) {
+      all_clean = false;
+      std::fprintf(
+          stderr,
+          "ERROR: cycle %d: me=%llu bcsr=%llu phantom=%llu overflow=%d "
+          "hangs=%llu abandoned=%llu watchdog=%d child_errors=%llu "
+          "finished=%d leaked=%d\n",
+          cycle + 1, static_cast<unsigned long long>(r.me_violations),
+          static_cast<unsigned long long>(r.bcsr_violations),
+          static_cast<unsigned long long>(r.phantom_crash_notes),
+          r.log_overflow ? 1 : 0, static_cast<unsigned long long>(r.hangs),
+          static_cast<unsigned long long>(r.hung_abandoned),
+          r.watchdog_fired ? 1 : 0,
+          static_cast<unsigned long long>(r.child_errors),
+          r.all_clients_finished ? 1 : 0, r.segment_leaked ? 1 : 0);
+    }
+    // A requested kill source that delivered nothing is a broken harness
+    // masquerading as a green run.
+    if (run.client_kills > 0 && r.client_kill_deaths == 0) {
+      all_clean = false;
+      std::fprintf(stderr, "ERROR: cycle %d: client kills requested, none "
+                           "delivered\n", cycle + 1);
+    }
+    if (run.daemon_kills > 0 &&
+        (r.daemon_kill_deaths == 0 || r.daemon_respawns == 0)) {
+      all_clean = false;
+      std::fprintf(stderr, "ERROR: cycle %d: daemon kills requested, "
+                           "deaths=%llu respawns=%llu\n", cycle + 1,
+                   static_cast<unsigned long long>(r.daemon_kill_deaths),
+                   static_cast<unsigned long long>(r.daemon_respawns));
+    }
+    if (run.daemon_kills_in_handshake > 0 && r.daemon_kills_handshake == 0) {
+      all_clean = false;
+      std::fprintf(stderr, "ERROR: cycle %d: no daemon kill landed on a "
+                           "mid-handshake husk\n", cycle + 1);
+    }
+    if (run.daemon_kills_in_insert > 0 && r.daemon_kills_insert == 0) {
+      all_clean = false;
+      std::fprintf(stderr, "ERROR: cycle %d: no daemon kill landed on a "
+                           "mid-insert husk\n", cycle + 1);
+    }
+    if (!run.site_kill_site.empty() && r.child_site_kills == 0) {
+      all_clean = false;
+      std::fprintf(stderr, "ERROR: cycle %d: site kills at '%s' requested, "
+                           "none fired\n", cycle + 1,
+                   run.site_kill_site.c_str());
+    }
+  }
+
+  std::printf("%s\n", table.ToText().c_str());
+  std::printf(
+      "Expected: zero ME/BCSR/phantom columns everywhere; every requested\n"
+      "kill source delivered; reattach cycles (cycle > 1) continue against\n"
+      "the surviving segment; no /dev/shm entry outlives the final cycle.\n");
+  return all_clean ? 0 : 1;
+}
+
+}  // namespace rme
+
+int main(int argc, char** argv) { return rme::BenchMain(argc, argv); }

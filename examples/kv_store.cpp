@@ -49,7 +49,12 @@ void ApplyPut(int pid) {
   const auto key = static_cast<size_t>(r.key.Load());
   Cell& cell = g_table[key];
   cell.value.Store(r.value.Load());
-  cell.version.Store(cell.version.Load() + 1);
+  // The version is a pure function of the writing transaction, never a
+  // read-modify-write of the cell: a crash between this store and the
+  // applied marker below replays the whole apply, and a counter bump
+  // would count the same put twice. (tests/kv_crash_window_test pins
+  // this exact window.)
+  cell.version.Store((txn << 8) | static_cast<uint64_t>(pid));
   r.applied.Store(txn);
 }
 

@@ -2,6 +2,9 @@
 
 #include <csignal>
 #include <cstring>
+#include <string>
+
+#include "util/assert.hpp"
 
 namespace rme {
 
@@ -46,6 +49,11 @@ bool RandomCrash::ShouldCrash(int pid, const char* /*site*/, bool after_op) {
   // crash always happens with the op's effect applied (the harder case:
   // effect persisted, private result lost).
   if (!after_op) return false;
+  RME_CHECK_MSG(pid >= 0 && pid < kMaxProcs,
+                ("RandomCrash consulted with out-of-range pid " +
+                 std::to_string(pid) +
+                 " (attach paths must bind pids in [0, kMaxProcs))")
+                    .c_str());
   if (!streams_[pid].Bernoulli(p_)) return false;
   if (!unlimited_) {
     if (budget_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
@@ -131,6 +139,10 @@ bool BatchCrash::ShouldCrash(int pid, const char* site, bool after_op) {
   // the caller and block-granular across threads — a batch fires at each
   // process's first operation whose own logical time passed the trigger.
   const uint64_t now = LogicalTick();
+  RME_CHECK_MSG(pid >= 0 && pid < kMaxProcs,
+                ("BatchCrash consulted with out-of-range pid " +
+                 std::to_string(pid) + " (mask shift would be undefined)")
+                    .c_str());
   const uint64_t bit = 1ULL << pid;
   for (size_t i = 0; i < batches_.size(); ++i) {
     if (now < batches_[i].at_logical_time) continue;

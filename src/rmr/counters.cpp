@@ -3,6 +3,7 @@
 #include <chrono>
 #include <climits>
 #include <ctime>
+#include <string>
 #include <thread>
 
 #if defined(__linux__)
@@ -121,6 +122,11 @@ void ParkOn(const void* addr, uint32_t expected, uint64_t timeout_us) {
 }  // namespace
 
 ProcessContext* BoundContext(int pid) {
+  RME_CHECK_MSG(pid >= 0 && pid < kMaxProcs,
+                ("BoundContext queried with out-of-range pid " +
+                 std::to_string(pid) +
+                 " (attach paths must bind pids in [0, kMaxProcs))")
+                    .c_str());
   return g_bound[pid].ptr.load(std::memory_order_acquire);
 }
 
@@ -150,7 +156,11 @@ ProcessBinding::ProcessBinding(int pid, CrashController* crash,
   ProcessContext& ctx = g_tls_context;
   RME_CHECK_MSG(ctx.pid == kMemoryNode,
                 "thread is already bound to a process");
-  RME_CHECK(pid >= 0 && pid < kMaxProcs);
+  RME_CHECK_MSG(pid >= 0 && pid < kMaxProcs,
+                ("ProcessBinding constructed with out-of-range pid " +
+                 std::to_string(pid) +
+                 " (g_bound registry and crash streams are sized kMaxProcs)")
+                    .c_str());
   ctx.pid = pid;
   ctx.crash = crash;
   // With a mirror slot, resume from the slot's surviving value (a fresh

@@ -1,0 +1,860 @@
+#include "runtime/lockd.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <cstring>
+#include <string.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "locks/lock.hpp"
+#include "rmr/counters.hpp"
+#include "util/assert.hpp"
+
+namespace rme::lockd {
+
+namespace {
+
+// Anchor for ServiceControl::text_anchor: any function in this TU works,
+// as long as creator and attacher agree on its address exactly when (and
+// only when) they share the executable image and slide.
+void TextAnchorFn() {}
+
+uint64_t CurrentTextAnchor() {
+  return reinterpret_cast<uint64_t>(reinterpret_cast<void*>(&TextAnchorFn));
+}
+
+uint32_t RoundUpPow2(uint32_t v) {
+  uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void SleepUs(uint32_t us) {
+  struct timespec ts;
+  ts.tv_sec = us / 1000000u;
+  ts.tv_nsec = static_cast<long>(us % 1000000u) * 1000l;
+  nanosleep(&ts, nullptr);
+}
+
+/// Direct crash-policy consult at a lockd protocol site (the fork
+/// harness's probe idiom): records the site for hang dumps, then offers
+/// the chain a deterministic firing point. Under SigkillCrash a hit
+/// never returns.
+void Probe(ServiceControl* ctl, int pid, const char* site) {
+  if (pid >= 0 && pid < static_cast<int>(ctl->num_slots)) {
+    Slots(ctl)[pid].last_probe_site.store(site, std::memory_order_relaxed);
+  } else {
+    ctl->daemon_probe_site.store(site, std::memory_order_relaxed);
+  }
+  CrashController* c = ctl->crash.load(std::memory_order_acquire);
+  if (c != nullptr) (void)c->ShouldCrash(pid, site, /*after_op=*/true);
+}
+
+void PublishPhase(ServiceControl* ctl, int slot, shm::PidPhase ph) {
+  Slots(ctl)[slot].phase.store(static_cast<uint32_t>(ph),
+                               std::memory_order_relaxed);
+}
+
+uint32_t StripeIndexFor(const ServiceControl* ctl, uint64_t hash) {
+  const uint32_t bucket = static_cast<uint32_t>(hash) & (ctl->dir_capacity - 1);
+  return bucket & (ctl->num_stripes - 1);
+}
+
+/// Holds `stripe` for the caller. Steals from a dead holder (its
+/// mid-flight inserts are resolved by the entry-level assist, not here).
+void AcquireStripe(ServiceControl* ctl, uint32_t stripe) {
+  Stripe& s = Stripes(ctl)[stripe];
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  uint64_t iter = 0;
+  for (;;) {
+    uint64_t w = s.word.load(std::memory_order_acquire);
+    if (WordState(w) == kStripeFree ||
+        (WordState(w) == kStripeHeld && !ProcessAlive(WordPid(w)))) {
+      if (s.word.compare_exchange_weak(w, NextWord(w, me, kStripeHeld),
+                                       std::memory_order_acq_rel)) {
+        return;
+      }
+      continue;
+    }
+    SpinPause(iter++);
+  }
+}
+
+void ReleaseStripe(ServiceControl* ctl, uint32_t stripe) {
+  Stripe& s = Stripes(ctl)[stripe];
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  uint64_t w = s.word.load(std::memory_order_acquire);
+  if (WordState(w) == kStripeHeld && WordPid(w) == me) {
+    s.word.compare_exchange_strong(w, NextWord(w, 0, kStripeFree),
+                                   std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace
+
+const char* SlotStateName(uint32_t s) {
+  switch (s) {
+    case kSlotFree: return "free";
+    case kSlotHandshaking: return "handshaking";
+    case kSlotLive: return "live";
+    case kSlotDead: return "dead";
+    case kSlotRecovering: return "recovering";
+  }
+  return "?";
+}
+
+const char* EntryStateName(uint32_t s) {
+  switch (s) {
+    case kEntryEmpty: return "empty";
+    case kEntryInserting: return "inserting";
+    case kEntryReady: return "ready";
+    case kEntryTombstone: return "tombstone";
+  }
+  return "?";
+}
+
+uint64_t HashLockName(const char* name) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = name; *p != '\0'; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001b3ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+bool ProcessAlive(uint32_t os_pid) {
+  if (os_pid == 0) return false;
+  if (::kill(static_cast<pid_t>(os_pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+// ---------------------------------------------------------------------------
+// Event log.
+// ---------------------------------------------------------------------------
+
+uint64_t ReserveLdEvent(ServiceControl* ctl) {
+  const uint64_t idx = ctl->log_next.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= ctl->log_cap) {
+    ctl->log_overflow.store(1, std::memory_order_relaxed);
+    return ~uint64_t{0};
+  }
+  return idx;
+}
+
+void CommitLdEvent(ServiceControl* ctl, uint64_t idx, shm::EventKind kind,
+                   int slot, uint32_t entry, uint64_t passage, bool recovery) {
+  if (idx == ~uint64_t{0}) return;
+  LockdEvent& e = Log(ctl)[idx];
+  e.slot = static_cast<uint32_t>(slot);
+  e.entry = entry;
+  e.recovery = recovery ? 1u : 0u;
+  e.passage = passage;
+  e.kind.store(static_cast<uint32_t>(kind), std::memory_order_release);
+}
+
+void AppendLdEvent(ServiceControl* ctl, shm::EventKind kind, int slot,
+                   uint32_t entry, uint64_t passage, bool recovery) {
+  CommitLdEvent(ctl, ReserveLdEvent(ctl), kind, slot, entry, passage,
+                recovery);
+}
+
+// ---------------------------------------------------------------------------
+// Service handle.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Service> Service::Create(const ServiceConfig& cfg) {
+  RME_CHECK_MSG(!cfg.shm_name.empty(), "lockd needs a named segment");
+  RME_CHECK_MSG(cfg.num_slots >= 1 && cfg.num_slots < kMaxProcs,
+                "lockd num_slots must be in [1, kMaxProcs): the slots are "
+                "lock-level pids and the daemon probes as pid num_slots");
+  RME_CHECK_MSG(cfg.lock_kind.size() < sizeof(ServiceControl::lock_kind),
+                "lock kind name too long");
+  {
+    // Validate the kind up front, outside the segment: it must survive a
+    // holder dying for real and must never admit ME violations (the
+    // service's verdicts assume strong recoverability).
+    auto probe_lock = MakeLock(cfg.lock_kind, cfg.num_slots);
+    RME_CHECK_MSG(probe_lock->SupportsSharedPlacement(),
+                  ("lock kind '" + cfg.lock_kind +
+                      "' does not support shared placement").c_str());
+    RME_CHECK_MSG(probe_lock->IsStronglyRecoverable(),
+                  ("lockd requires a strongly recoverable lock kind; '" +
+                      cfg.lock_kind + "' is weakly recoverable").c_str());
+  }
+
+  auto svc = std::unique_ptr<Service>(new Service());
+  svc->shm_name_ = cfg.shm_name;
+  svc->seg_ = std::make_unique<shm::Segment>(cfg.segment_bytes, cfg.shm_name,
+                                             /*keep_name=*/true,
+                                             shm::NamedMode::kCreateFresh);
+  shm::Segment& seg = *svc->seg_;
+
+  ServiceControl* ctl = seg.New<ServiceControl>();
+  ctl->num_slots = static_cast<uint32_t>(cfg.num_slots);
+  ctl->dir_capacity = RoundUpPow2(cfg.dir_capacity < 8 ? 8 : cfg.dir_capacity);
+  uint32_t stripes = ctl->dir_capacity / 4;
+  if (stripes < 1) stripes = 1;
+  if (stripes > 64) stripes = 64;
+  ctl->num_stripes = RoundUpPow2(stripes);
+  std::snprintf(ctl->lock_kind, sizeof(ctl->lock_kind), "%s",
+                cfg.lock_kind.c_str());
+  ctl->text_anchor = CurrentTextAnchor();
+  ctl->log_cap = cfg.log_cap < 1024 ? 1024 : cfg.log_cap;
+
+  char* base = static_cast<char*>(seg.base());
+  ctl->self_off = reinterpret_cast<char*>(ctl) - base;
+  ctl->slots_off =
+      reinterpret_cast<char*>(seg.NewArray<ClientSlot>(ctl->num_slots)) - base;
+  ctl->dir_off =
+      reinterpret_cast<char*>(seg.NewArray<DirEntry>(ctl->dir_capacity)) -
+      base;
+  ctl->stripes_off =
+      reinterpret_cast<char*>(seg.NewArray<Stripe>(ctl->num_stripes)) - base;
+  ctl->log_off =
+      reinterpret_cast<char*>(seg.NewArray<LockdEvent>(ctl->log_cap)) - base;
+
+  seg.SetRoot(ctl);
+  svc->ctl_ = ctl;
+  return svc;
+}
+
+namespace {
+
+ServiceControl* ValidateRoot(shm::Segment& seg, const std::string& name) {
+  auto* ctl = static_cast<ServiceControl*>(seg.root());
+  RME_CHECK_MSG(ctl != nullptr,
+                ("segment '" + name + "' has no published service root").c_str());
+  RME_CHECK_MSG(ctl->magic == kServiceMagic,
+                ("segment '" + name + "' root is not a lockd control block").c_str());
+  RME_CHECK_MSG(ctl->version == kServiceVersion,
+                ("segment '" + name + "' has an incompatible lockd version").c_str());
+  RME_CHECK_MSG(ctl->num_slots >= 1 && ctl->num_slots < kMaxProcs &&
+                    ctl->dir_capacity > 0 && ctl->log_cap > 0,
+                ("segment '" + name + "' control block is corrupt").c_str());
+  return ctl;
+}
+
+}  // namespace
+
+std::unique_ptr<Service> Service::Attach(const std::string& shm_name) {
+  auto svc = std::unique_ptr<Service>(new Service());
+  svc->shm_name_ = shm_name;
+  svc->seg_ = std::make_unique<shm::Segment>(/*bytes=*/0, shm_name,
+                                             /*keep_name=*/true,
+                                             shm::NamedMode::kAttach);
+  svc->ctl_ = ValidateRoot(*svc->seg_, shm_name);
+  svc->seg_->set_unlink_on_destroy(false);  // an attacher never owns the name
+  return svc;
+}
+
+std::unique_ptr<Service> Service::AttachOrCreate(const ServiceConfig& cfg) {
+  if (shm::Segment::ProbeNamed(cfg.shm_name) == shm::ProbeResult::kValid) {
+    return Attach(cfg.shm_name);
+  }
+  return Create(cfg);
+}
+
+Service::~Service() = default;
+
+bool Service::locks_usable() const {
+  return ctl_ != nullptr && ctl_->text_anchor == CurrentTextAnchor();
+}
+
+// ---------------------------------------------------------------------------
+// Lease handshake.
+// ---------------------------------------------------------------------------
+
+int AcquireLease(ServiceControl* ctl) {
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    uint64_t w = slots[s].word.load(std::memory_order_acquire);
+    if (WordState(w) != kSlotFree) continue;
+    if (!slots[s].word.compare_exchange_strong(
+            w, NextWord(w, me, kSlotHandshaking), std::memory_order_acq_rel)) {
+      continue;
+    }
+    const uint64_t claimed = NextWord(w, me, kSlotHandshaking);
+    slots[s].incarnation.fetch_add(1, std::memory_order_acq_rel);
+    // The mid-handshake kill window: a SIGKILL here leaves a Handshaking
+    // husk with a dead claimant that the sweep (or a fresh daemon's
+    // takeover) must fence and free.
+    Probe(ctl, static_cast<int>(s), "ld.lease.brk");
+    uint64_t expect = claimed;
+    if (!slots[s].word.compare_exchange_strong(expect,
+                                               NextWord(claimed, me, kSlotLive),
+                                               std::memory_order_acq_rel)) {
+      // Fenced mid-handshake (we looked dead — possible only under pid
+      // reuse or a fencing bug); the fencer owns the slot now.
+      continue;
+    }
+    ctl->lease_grants.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(s);
+  }
+  return -1;
+}
+
+void ReleaseLease(ServiceControl* ctl, int slot) {
+  ClientSlot& cs = Slots(ctl)[slot];
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  uint64_t w = cs.word.load(std::memory_order_acquire);
+  if (WordState(w) == kSlotLive && WordPid(w) == me) {
+    PublishPhase(ctl, slot, shm::PidPhase::kIdle);
+    cs.word.compare_exchange_strong(w, NextWord(w, 0, kSlotFree),
+                                    std::memory_order_acq_rel);
+  }
+}
+
+bool LeaseValid(const ServiceControl* ctl, int slot, uint64_t incarnation) {
+  const ClientSlot& cs = Slots(ctl)[slot];
+  const uint64_t w = cs.word.load(std::memory_order_acquire);
+  return WordState(w) == kSlotLive &&
+         WordPid(w) == static_cast<uint32_t>(getpid()) &&
+         cs.incarnation.load(std::memory_order_acquire) == incarnation;
+}
+
+// ---------------------------------------------------------------------------
+// Directory.
+// ---------------------------------------------------------------------------
+
+bool ResolveInsertingEntry(ServiceControl* ctl, uint32_t idx) {
+  DirEntry& e = Dir(ctl)[idx];
+  uint64_t w = e.word.load(std::memory_order_acquire);
+  if (WordState(w) != kEntryInserting) return true;
+  if (ProcessAlive(WordPid(w))) return false;
+  RecoverableLock* lk = e.lock.load(std::memory_order_acquire);
+  if (lk != nullptr) {
+    // Name, hash and the lock were all published before the inserter
+    // died; only the Ready transition is missing. Finish it.
+    if (e.word.compare_exchange_strong(w, NextWord(w, 0, kEntryReady),
+                                       std::memory_order_acq_rel)) {
+      ctl->assisted_inserts.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Died before the lock existed: tombstone, never Empty — an Empty
+    // here would truncate probe chains that already passed this cell and
+    // let the same name be inserted twice. The arena bytes a partially
+    // constructed lock may have consumed stay allocated (the arena never
+    // frees); only the cell is reused.
+    if (e.word.compare_exchange_strong(w, NextWord(w, 0, kEntryTombstone),
+                                       std::memory_order_acq_rel)) {
+      ctl->rolled_back_inserts.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return WordState(e.word.load(std::memory_order_acquire)) != kEntryInserting;
+}
+
+namespace {
+
+/// Lookup pass: returns the entry index if `name` is Ready (or resolved
+/// to Ready), -1 if provably absent. Blocks (with assist) on Inserting
+/// entries that could be `name` mid-publication.
+int LookupEntry(ServiceControl* ctl, const char* name, uint64_t hash) {
+  DirEntry* dir = Dir(ctl);
+  const uint32_t mask = ctl->dir_capacity - 1;
+  uint64_t iter = 0;
+  for (uint32_t i = 0; i < ctl->dir_capacity;) {
+    const uint32_t idx = (static_cast<uint32_t>(hash) + i) & mask;
+    DirEntry& e = dir[idx];
+    const uint64_t w = e.word.load(std::memory_order_acquire);
+    switch (WordState(w)) {
+      case kEntryEmpty:
+        return -1;
+      case kEntryTombstone:
+        ++i;
+        continue;
+      case kEntryReady:
+        if (e.name_hash.load(std::memory_order_acquire) == hash &&
+            std::strncmp(e.name, name, kMaxLockName + 1) == 0) {
+          return static_cast<int>(idx);
+        }
+        ++i;
+        continue;
+      case kEntryInserting: {
+        const uint64_t h = e.name_hash.load(std::memory_order_acquire);
+        if (h != 0 && h != hash) {
+          ++i;  // provably a different name mid-insert
+          continue;
+        }
+        // Could be our name before its hash landed: wait for the
+        // inserter, finishing/rolling back on its behalf if it died.
+        ResolveInsertingEntry(ctl, idx);
+        SpinPause(iter++);
+        continue;  // re-examine the same cell
+      }
+    }
+    ++i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int GetOrInsertEntry(ServiceControl* ctl, shm::Segment* seg, const char* name,
+                     int slot) {
+  RME_CHECK_MSG(std::strlen(name) <= kMaxLockName,
+                (std::string("lockd lock name too long: '") + name + "'").c_str());
+  const uint64_t hash = HashLockName(name);
+  int found = LookupEntry(ctl, name, hash);
+  if (found >= 0) return found;
+
+  // Absent: insert under the initial bucket's stripe. Same name => same
+  // bucket => same stripe, so duplicate inserts of one name serialize
+  // here; claims on individual cells stay CAS-guarded because probe
+  // chains from *other* buckets (other stripes) may cross ours.
+  const uint32_t stripe = StripeIndexFor(ctl, hash);
+  AcquireStripe(ctl, stripe);
+  found = LookupEntry(ctl, name, hash);  // re-check under the stripe
+  if (found >= 0) {
+    ReleaseStripe(ctl, stripe);
+    return found;
+  }
+
+  DirEntry* dir = Dir(ctl);
+  const uint32_t mask = ctl->dir_capacity - 1;
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  for (;;) {
+    int claimed = -1;
+    for (uint32_t i = 0; i < ctl->dir_capacity; ++i) {
+      const uint32_t idx = (static_cast<uint32_t>(hash) + i) & mask;
+      DirEntry& e = dir[idx];
+      uint64_t w = e.word.load(std::memory_order_acquire);
+      const uint32_t st = WordState(w);
+      if (st != kEntryEmpty && st != kEntryTombstone) continue;
+      // Tombstones have lock == nullptr by the rollback ordering (clear
+      // the pointer, then CAS the word), so a claim never inherits a
+      // stale "construction finished" signal.
+      if (e.word.compare_exchange_strong(w, NextWord(w, me, kEntryInserting),
+                                         std::memory_order_acq_rel)) {
+        claimed = static_cast<int>(idx);
+        break;
+      }
+      break;  // lost the cell to a concurrent claim; rescan from scratch
+    }
+    if (claimed < 0) {
+      // Either the table is genuinely full or we lost a race; rescan
+      // once for the full case before aborting.
+      bool any_free = false;
+      for (uint32_t j = 0; j < ctl->dir_capacity; ++j) {
+        const uint32_t st =
+            WordState(dir[j].word.load(std::memory_order_acquire));
+        if (st == kEntryEmpty || st == kEntryTombstone) {
+          any_free = true;
+          break;
+        }
+      }
+      RME_CHECK_MSG(any_free,
+                    (std::string("lockd directory full inserting '") + name +
+                        "' — raise ServiceConfig::dir_capacity").c_str());
+      continue;
+    }
+
+    DirEntry& e = dir[claimed];
+    e.name_hash.store(0, std::memory_order_relaxed);
+    std::memset(e.name, 0, sizeof(e.name));
+    std::snprintf(e.name, sizeof(e.name), "%s", name);
+    e.name_hash.store(hash, std::memory_order_release);
+    // Mid-insert kill window #1: name published, no lock yet. A death
+    // here must roll back to a tombstone.
+    Probe(ctl, slot, "ld.insert.brk");
+
+    RecoverableLock* lk = nullptr;
+    {
+      shm::PlacementScope scope(seg);
+      lk = MakeLock(ctl->lock_kind, static_cast<int>(ctl->num_slots))
+               .release();
+    }
+    e.lock.store(lk, std::memory_order_release);
+    // Mid-insert kill window #2: lock published, Ready transition
+    // pending. A death here must be *completed*, not rolled back.
+    Probe(ctl, slot, "ld.publish.brk");
+
+    uint64_t w = e.word.load(std::memory_order_acquire);
+    RME_CHECK_MSG(WordState(w) == kEntryInserting && WordPid(w) == me,
+                  "lockd insert fenced away from a live inserter");
+    e.word.compare_exchange_strong(w, NextWord(w, 0, kEntryReady),
+                                   std::memory_order_acq_rel);
+    ReleaseStripe(ctl, stripe);
+    return claimed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Passages.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The logged-CS body shared by normal and recovery passages. Caller has
+/// already published active_entry. Mirrors the fork harness bracket
+/// exactly: reserve -> ticket -> probe -> commit on entry; reserve ->
+/// ticket -> probe -> owner release -> commit -> ticket clear on exit.
+void PassageBody(ServiceControl* ctl, int slot, int entry, int cs_ops,
+                 bool recovery) {
+  ClientSlot& me = Slots(ctl)[slot];
+  DirEntry& e = Dir(ctl)[entry];
+  RecoverableLock* lk = e.lock.load(std::memory_order_acquire);
+  RME_CHECK_MSG(lk != nullptr, "passage on an entry with no lock");
+  const uint64_t passage = me.acquires.load(std::memory_order_relaxed);
+
+  PublishPhase(ctl, slot, shm::PidPhase::kRecovering);
+  Probe(ctl, slot, recovery ? "ld.rrecover.brk" : "ld.recover.brk");
+  lk->Recover(slot);
+
+  PublishPhase(ctl, slot, shm::PidPhase::kEntering);
+  lk->Enter(slot);
+
+  const uint64_t enter_idx = ReserveLdEvent(ctl);
+  if (enter_idx != ~uint64_t{0}) {
+    me.cs_ticket.store(shm::EncodeCsTicket(enter_idx, shm::kCsEnterPhase),
+                       std::memory_order_release);
+  }
+  Probe(ctl, slot, recovery ? "ld.renter.brk" : "ld.enter.brk");
+  CommitLdEvent(ctl, enter_idx, shm::EventKind::kEnter, slot,
+                static_cast<uint32_t>(entry), passage, recovery);
+
+  const uint32_t prev = e.owner.exchange(static_cast<uint32_t>(slot) + 1,
+                                         std::memory_order_acq_rel);
+  if (prev != 0) {
+    e.cs_overlaps.fetch_add(1, std::memory_order_relaxed);
+    ctl->cs_overlap_events.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  PublishPhase(ctl, slot, shm::PidPhase::kCs);
+  for (int i = 0; i < cs_ops; ++i) {
+    e.cs_scratch.FetchAdd(1, "ld.cs.op");
+  }
+
+  PublishPhase(ctl, slot, shm::PidPhase::kExiting);
+  const uint64_t exit_idx = ReserveLdEvent(ctl);
+  if (exit_idx != ~uint64_t{0}) {
+    me.cs_ticket.store(shm::EncodeCsTicket(exit_idx, shm::kCsExitPhase),
+                       std::memory_order_release);
+  }
+  Probe(ctl, slot, recovery ? "ld.rexit.brk" : "ld.exit.brk");
+  e.owner.store(0, std::memory_order_release);
+  CommitLdEvent(ctl, exit_idx, shm::EventKind::kExit, slot,
+                static_cast<uint32_t>(entry), passage, recovery);
+  me.cs_ticket.store(0, std::memory_order_release);
+
+  lk->Exit(slot);
+  e.acquisitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void RunPassage(ServiceControl* ctl, int slot, int entry, int cs_ops) {
+  ClientSlot& me = Slots(ctl)[slot];
+  me.active_entry.store(static_cast<uint32_t>(entry) + 1,
+                        std::memory_order_release);
+  PassageBody(ctl, slot, entry, cs_ops, /*recovery=*/false);
+  me.acquires.fetch_add(1, std::memory_order_acq_rel);
+  me.active_entry.store(0, std::memory_order_release);
+  me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  PublishPhase(ctl, slot, shm::PidPhase::kIdle);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+int MarkDeadByOsPid(ServiceControl* ctl, uint32_t os_pid) {
+  if (os_pid == 0) return 0;
+  int marked = 0;
+  ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    uint64_t w = slots[s].word.load(std::memory_order_acquire);
+    const uint32_t st = WordState(w);
+    if (WordPid(w) != os_pid) continue;
+    if (st != kSlotLive && st != kSlotHandshaking && st != kSlotRecovering) {
+      continue;
+    }
+    if (slots[s].word.compare_exchange_strong(w, NextWord(w, 0, kSlotDead),
+                                              std::memory_order_acq_rel)) {
+      ++marked;
+    }
+  }
+  return marked;
+}
+
+void RecoverSlotBody(ServiceControl* ctl, int slot) {
+  ClientSlot& me = Slots(ctl)[slot];
+
+  // cs_ticket forensics, exactly the fork harness's: the ticket names
+  // the log slot the corpse reserved and which bracket phase it was in;
+  // whether that slot ever committed decides died-inside-logged-CS.
+  const uint64_t ticket = me.cs_ticket.load(std::memory_order_acquire);
+  const uint32_t active = me.active_entry.load(std::memory_order_acquire);
+  if (ticket != 0) {
+    const uint64_t idx = shm::CsTicketSlot(ticket);
+    const uint64_t phase = shm::CsTicketPhase(ticket);
+    bool committed = false;
+    if (idx < ctl->log_cap) {
+      committed = Log(ctl)[idx].kind.load(std::memory_order_acquire) !=
+                  static_cast<uint32_t>(shm::EventKind::kInvalid);
+    }
+    const bool died_in_logged_cs =
+        (phase == shm::kCsEnterPhase && committed) ||
+        (phase == shm::kCsExitPhase && !committed);
+    if (died_in_logged_cs && active != 0) {
+      const uint32_t entry = active - 1;
+      AppendLdEvent(ctl, shm::EventKind::kCrashNoted, slot, entry,
+                    me.acquires.load(std::memory_order_relaxed),
+                    /*recovery=*/false);
+      DirEntry& e = Dir(ctl)[entry];
+      uint32_t corpse = static_cast<uint32_t>(slot) + 1;
+      e.owner.compare_exchange_strong(corpse, 0, std::memory_order_acq_rel);
+    }
+    me.cs_ticket.store(0, std::memory_order_release);
+  }
+
+  if (active != 0) {
+    // The corpse was somewhere inside a passage on this entry, so at
+    // lock level it may still *hold* the lock — strong recoverability
+    // means nobody else can enter until the crashed process comes back.
+    // Recovery therefore runs a full passage as the dead slot: Recover
+    // cleans its request state, Enter re-acquires (or first acquires),
+    // Exit releases. Recover alone would release nothing.
+    PassageBody(ctl, slot, static_cast<int>(active) - 1, /*cs_ops=*/0,
+                /*recovery=*/true);
+    me.active_entry.store(0, std::memory_order_release);
+  }
+  PublishPhase(ctl, slot, shm::PidPhase::kIdle);
+}
+
+bool AssistRecoverOne(ServiceControl* ctl) {
+  const uint32_t me = static_cast<uint32_t>(getpid());
+  ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    uint64_t w = slots[s].word.load(std::memory_order_acquire);
+    if (WordState(w) != kSlotDead) continue;
+    const uint64_t fenced = NextWord(w, me, kSlotRecovering);
+    if (!slots[s].word.compare_exchange_strong(w, fenced,
+                                               std::memory_order_acq_rel)) {
+      continue;
+    }
+    RecoverSlotBody(ctl, static_cast<int>(s));
+    uint64_t expect = fenced;
+    if (slots[s].word.compare_exchange_strong(expect,
+                                              NextWord(fenced, 0, kSlotFree),
+                                              std::memory_order_acq_rel)) {
+      ctl->recovered_slots.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Daemon.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ESRCH sweep: any slot whose recorded actor is gone becomes Dead.
+/// Live/Handshaking pids are lease holders; a Recovering pid is a
+/// recoverer (daemon helper or assisting client) that itself died.
+void MarkDeadSlots(ServiceControl* ctl) {
+  ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    uint64_t w = slots[s].word.load(std::memory_order_acquire);
+    const uint32_t st = WordState(w);
+    if (st != kSlotLive && st != kSlotHandshaking && st != kSlotRecovering) {
+      continue;
+    }
+    if (ProcessAlive(WordPid(w))) continue;
+    slots[s].word.compare_exchange_strong(w, NextWord(w, 0, kSlotDead),
+                                          std::memory_order_acq_rel);
+  }
+}
+
+void SweepDirectory(ServiceControl* ctl) {
+  for (uint32_t i = 0; i < ctl->dir_capacity; ++i) {
+    const uint64_t w = Dir(ctl)[i].word.load(std::memory_order_acquire);
+    if (WordState(w) == kEntryInserting) (void)ResolveInsertingEntry(ctl, i);
+  }
+  Stripe* stripes = Stripes(ctl);
+  for (uint32_t i = 0; i < ctl->num_stripes; ++i) {
+    uint64_t w = stripes[i].word.load(std::memory_order_acquire);
+    if (WordState(w) == kStripeHeld && !ProcessAlive(WordPid(w))) {
+      stripes[i].word.compare_exchange_strong(w, NextWord(w, 0, kStripeFree),
+                                              std::memory_order_acq_rel);
+    }
+  }
+}
+
+/// One recovery helper per dead slot: the helper fences the slot itself
+/// (so the slot word always names the actual acting process — an
+/// orphaned helper surviving its daemon stays visibly alive and is never
+/// double-recovered), recovers, frees, exits. Concurrent helpers keep a
+/// recovery blocked behind another dead holder from serializing the
+/// rest, and a helper SIGKILLed mid-recovery just re-fences on reap.
+void HelperMain(ServiceControl* ctl, uint32_t s) {
+  // The child shares the parent's TLS image; start from a clean context
+  // before binding (fork_harness's ChildMain discipline).
+  CurrentProcess() = ProcessContext{};
+  WakeAllParked();
+  ClientSlot& cs = Slots(ctl)[s];
+  uint64_t w = cs.word.load(std::memory_order_acquire);
+  if (WordState(w) != kSlotDead) _exit(0);
+  const uint64_t fenced =
+      NextWord(w, static_cast<uint32_t>(getpid()), kSlotRecovering);
+  if (!cs.word.compare_exchange_strong(w, fenced,
+                                       std::memory_order_acq_rel)) {
+    _exit(0);
+  }
+  {
+    ProcessBinding bind(static_cast<int>(s), nullptr);
+    RecoverSlotBody(ctl, static_cast<int>(s));
+  }
+  uint64_t expect = fenced;
+  if (cs.word.compare_exchange_strong(expect, NextWord(fenced, 0, kSlotFree),
+                                      std::memory_order_acq_rel)) {
+    ctl->recovered_slots.fetch_add(1, std::memory_order_relaxed);
+  }
+  _exit(0);
+}
+
+struct HelperTracker {
+  std::map<uint32_t, pid_t> by_slot;
+
+  void Launch(ServiceControl* ctl) {
+    ClientSlot* slots = Slots(ctl);
+    for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+      if (by_slot.count(s) != 0) continue;
+      if (WordState(slots[s].word.load(std::memory_order_acquire)) !=
+          kSlotDead) {
+        continue;
+      }
+      const pid_t child = fork();
+      RME_CHECK_MSG(child >= 0, "lockd daemon failed to fork a helper");
+      if (child == 0) HelperMain(ctl, s);  // never returns
+      by_slot[s] = child;
+    }
+  }
+
+  /// Reaps finished helpers; a helper that died mid-recovery leaves its
+  /// slot fenced under its (now dead) pid — put it back to Dead so the
+  /// next sweep retries.
+  void Reap(ServiceControl* ctl, bool block) {
+    for (auto it = by_slot.begin(); it != by_slot.end();) {
+      int status = 0;
+      const pid_t r = waitpid(it->second, &status, block ? 0 : WNOHANG);
+      if (r == 0) {
+        ++it;
+        continue;
+      }
+      const uint32_t s = it->first;
+      const uint32_t hpid = static_cast<uint32_t>(it->second);
+      it = by_slot.erase(it);
+      ClientSlot& cs = Slots(ctl)[s];
+      uint64_t w = cs.word.load(std::memory_order_acquire);
+      if (WordState(w) == kSlotRecovering && WordPid(w) == hpid) {
+        cs.word.compare_exchange_strong(w, NextWord(w, 0, kSlotDead),
+                                        std::memory_order_acq_rel);
+      }
+    }
+  }
+};
+
+bool AnySlotPending(ServiceControl* ctl) {
+  ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    const uint32_t st =
+        WordState(slots[s].word.load(std::memory_order_acquire));
+    if (st == kSlotDead || st == kSlotRecovering) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int RunDaemon(Service& svc, const DaemonConfig& dc) {
+  ServiceControl* ctl = svc.ctl();
+  RME_CHECK_MSG(ctl->magic == kServiceMagic && ctl->version == kServiceVersion,
+                "lockd daemon: control block failed validation");
+  RME_CHECK_MSG(svc.locks_usable(),
+                "lockd daemon: segment was built by a different executable "
+                "image — its lock vtables are not usable here");
+  const int daemon_pid_index = static_cast<int>(ctl->num_slots);
+  const uint32_t me = static_cast<uint32_t>(getpid());
+
+  // Takeover: CAS-steal the daemon word from nobody or from a corpse. A
+  // live incumbent wins; we leave.
+  for (;;) {
+    uint64_t w = ctl->daemon_word.load(std::memory_order_acquire);
+    const uint32_t st = WordState(w);
+    const bool claimable =
+        st == kDaemonNone || WordPid(w) == me || !ProcessAlive(WordPid(w));
+    if (!claimable) return 1;
+    if (ctl->daemon_word.compare_exchange_strong(
+            w, NextWord(w, me, kDaemonStarting), std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  ctl->daemon_incarnation.fetch_add(1, std::memory_order_acq_rel);
+  ctl->daemon_takeovers.fetch_add(1, std::memory_order_relaxed);
+
+  // Mid-takeover kill window: the daemon word says Starting under our
+  // pid; a death here must be stealable by the next daemon.
+  Probe(ctl, daemon_pid_index, "ld.d.takeover.brk");
+
+  if (dc.validate_named && !svc.shm_name().empty()) {
+    // Honest reattach validation: re-probe the named entry's header on
+    // disk (magic, version, size vs recorded capacity) even though our
+    // own mapping is inherited/established already.
+    std::string why;
+    const auto pr = shm::Segment::ProbeNamed(svc.shm_name(), &why);
+    RME_CHECK_MSG(pr == shm::ProbeResult::kValid,
+                  ("lockd daemon: named segment failed validation: " + why).c_str());
+  }
+
+  // Takeover sweep: everything a dead predecessor (or its clients) could
+  // have left mid-flight.
+  HelperTracker helpers;
+  MarkDeadSlots(ctl);
+  SweepDirectory(ctl);
+  helpers.Launch(ctl);
+
+  uint64_t w = ctl->daemon_word.load(std::memory_order_acquire);
+  if (WordState(w) == kDaemonStarting && WordPid(w) == me) {
+    ctl->daemon_word.compare_exchange_strong(w, NextWord(w, me, kDaemonRunning),
+                                             std::memory_order_acq_rel);
+  }
+  ctl->ready.store(1, std::memory_order_release);
+
+  while (ctl->stop.load(std::memory_order_acquire) == 0) {
+    ctl->daemon_heartbeat.fetch_add(1, std::memory_order_relaxed);
+    MarkDeadSlots(ctl);
+    SweepDirectory(ctl);
+    helpers.Launch(ctl);
+    helpers.Reap(ctl, /*block=*/false);
+    Probe(ctl, daemon_pid_index, "ld.d.sweep.brk");
+    SleepUs(dc.sweep_interval_us);
+  }
+
+  // Drain: finish outstanding recoveries so a clean stop leaves no Dead
+  // or Recovering slots behind (bounded — a stop during a kill storm
+  // still terminates).
+  for (int round = 0; round < 2000 && AnySlotPending(ctl); ++round) {
+    MarkDeadSlots(ctl);
+    SweepDirectory(ctl);
+    helpers.Launch(ctl);
+    helpers.Reap(ctl, /*block=*/false);
+    SleepUs(1000);
+  }
+  helpers.Reap(ctl, /*block=*/true);
+  AppendLdEvent(ctl, shm::EventKind::kDone, daemon_pid_index, ~0u,
+                ctl->daemon_heartbeat.load(std::memory_order_relaxed), false);
+  ctl->ready.store(0, std::memory_order_release);
+  return 0;
+}
+
+}  // namespace rme::lockd

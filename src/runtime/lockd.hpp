@@ -1,0 +1,390 @@
+// rme-lockd: a persistent named-lock service over one named, versioned
+// shm segment.
+//
+// The fork harness (runtime/fork_harness) is born and dies with a single
+// driver run: its segment is anonymous, its pid set fixed. This layer
+// decouples lock lifetime from every process that uses the locks:
+//
+//  - One *named* segment (shm/shm_segment, NamedMode) owns a sharded
+//    name -> lock directory: open-addressed DirEntry headers in the bump
+//    arena, each Ready entry carrying a RecoverableLock built via
+//    PlacementScope, so the lock's whole state tree lives in the segment.
+//  - Clients do not get compile-time pids. They lease a ClientSlot from
+//    a fixed table of `num_slots` slots (slots, not clients, are the
+//    lock-level pids; any number of client processes churn through them
+//    over time). The lease handshake is a CAS on a packed state word
+//    [epoch:24 | os_pid:32 | state:8] plus an incarnation bump — the
+//    PR 5 PidPhase/incarnation machinery generalized past a fixed
+//    kMaxProcs process set.
+//  - A client SIGKILL leaves its slot word Live with a dead os_pid. The
+//    daemon (or any other client, between its own passages) fences the
+//    slot Dead -> Recovering(actor) and runs a *full passage* on behalf
+//    of the dead slot — Recover(s); Enter(s); Exit(s) — because a holder
+//    that died inside the CS still owns the lock at lock level; Recover
+//    alone releases nothing.
+//  - A daemon SIGKILL leaves the segment intact. The next daemon
+//    validates the magic/version header, CAS-steals the daemon word from
+//    the dead incumbent, and sweeps every husk the crash could have left:
+//    dead slots (forked recovery helpers, one per slot, so one wedged
+//    recovery never serializes the rest), mid-flight directory inserts
+//    (completed if the lock was already published, rolled back to a
+//    tombstone otherwise), and stripe locks held by the dead.
+//
+// Every transition of slot words, entry words, stripe words and the
+// daemon word is a single CAS on a packed word whose epoch bumps on each
+// ownership change, so a stale actor's delayed CAS can never resurrect a
+// state someone else already moved past.
+//
+// Address discipline: DirEntry::lock holds a raw pointer (with a vtable)
+// into the segment, valid only for processes that either forked from the
+// creator or remapped the segment at its recorded creator base *in the
+// same executable image* (ServiceControl::text_anchor gates this). All
+// service bookkeeping pointers are stored as segment offsets, so a
+// foreign tool can still read status from any mapping address.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crash/crash.hpp"
+#include "rmr/memory_model.hpp"
+#include "shm/shm_layout.hpp"
+#include "shm/shm_segment.hpp"
+
+namespace rme {
+class RecoverableLock;
+}
+
+namespace rme::lockd {
+
+inline constexpr uint64_t kServiceMagic = 0x524d454c4f434b44ull;  // "RMELOCKD"
+inline constexpr uint32_t kServiceVersion = 1;
+
+/// Longest lock name the directory stores (entries embed the bytes so a
+/// lookup never chases a pointer that could dangle across reattach).
+inline constexpr size_t kMaxLockName = 47;
+
+// ---------------------------------------------------------------------------
+// Packed state words: [epoch:24 | os_pid:32 | state:8]. One CAS moves
+// ownership and bumps the epoch, so a delayed CAS from a stale actor
+// (fenced recoverer, orphaned daemon helper) always fails.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t PackWord(uint64_t epoch, uint32_t os_pid, uint32_t state) {
+  return ((epoch & 0xFFFFFFull) << 40) | (uint64_t{os_pid} << 8) |
+         (state & 0xFFull);
+}
+constexpr uint32_t WordState(uint64_t w) { return static_cast<uint32_t>(w & 0xFF); }
+constexpr uint32_t WordPid(uint64_t w) {
+  return static_cast<uint32_t>((w >> 8) & 0xFFFFFFFFull);
+}
+constexpr uint64_t WordEpoch(uint64_t w) { return w >> 40; }
+/// The same word with the epoch bumped and a new owner/state.
+constexpr uint64_t NextWord(uint64_t prev, uint32_t os_pid, uint32_t state) {
+  return PackWord(WordEpoch(prev) + 1, os_pid, state);
+}
+
+enum SlotState : uint32_t {
+  kSlotFree = 0,
+  kSlotHandshaking,  ///< claimed, incarnation not yet bumped/published
+  kSlotLive,         ///< leased by the recorded os_pid
+  kSlotDead,         ///< owner confirmed dead; awaiting recovery
+  kSlotRecovering,   ///< an actor (recorded os_pid) is recovering it
+};
+
+enum EntryState : uint32_t {
+  kEntryEmpty = 0,
+  kEntryInserting,  ///< claimed by the recorded os_pid; lock being built
+  kEntryReady,      ///< name + lock published; permanent
+  kEntryTombstone,  ///< rolled-back insert; reusable, keeps probe chains
+};
+
+enum StripeState : uint32_t { kStripeFree = 0, kStripeHeld };
+
+enum DaemonState : uint32_t {
+  kDaemonNone = 0,
+  kDaemonStarting,  ///< takeover sweep in progress
+  kDaemonRunning,
+};
+
+const char* SlotStateName(uint32_t s);
+const char* EntryStateName(uint32_t s);
+
+// ---------------------------------------------------------------------------
+// Segment-resident structures. All are built by Service::Create inside
+// the segment; a reattaching daemon finds them via Segment::root().
+// ---------------------------------------------------------------------------
+
+/// One leaseable lock-level pid. The word is the lease/liveness state;
+/// the rest is the per-slot crash-forensics surface the fork harness
+/// keeps in PerPidControl, owned by whichever process currently acts as
+/// this slot (lease holder or fenced recoverer — never both, by the word).
+struct alignas(kCacheLineBytes) ClientSlot {
+  std::atomic<uint64_t> word{0};
+  /// Bumped on every successful lease. A respawned client that cached
+  /// (slot, incarnation) detects a stale lease instead of impersonating
+  /// the slot's next tenant.
+  std::atomic<uint64_t> incarnation{0};
+  std::atomic<uint64_t> heartbeat{0};  ///< diagnostic; bumped per passage
+  std::atomic<uint64_t> acquires{0};   ///< completed passages by this slot
+  /// Directory entry index + 1 of the passage in flight (0 = none). Set
+  /// (release) before Recover, cleared after Exit, so a recoverer knows
+  /// which lock a corpse may still hold.
+  std::atomic<uint32_t> active_entry{0};
+  std::atomic<uint32_t> phase{0};  ///< shm::PidPhase, frozen by SIGKILL
+  /// Logged-CS bracket ticket (shm::EncodeCsTicket over the *lockd* log):
+  /// nonzero while between reserve and commit of a bracket event; the
+  /// recoverer decides died-in-logged-CS from it exactly like the fork
+  /// harness does.
+  std::atomic<uint64_t> cs_ticket{0};
+  std::atomic<const char*> last_probe_site{""};  ///< hang-dump diagnostic
+};
+
+/// One directory bucket. Ready entries are permanent (the arena never
+/// frees); tombstones keep probe chains intact — rolling an aborted
+/// insert back to Empty would truncate chains that probed past it and
+/// let the same name be inserted twice (two locks for one name = ME
+/// violation by construction).
+struct alignas(kCacheLineBytes) DirEntry {
+  std::atomic<uint64_t> word{0};       ///< [epoch | inserter os_pid | EntryState]
+  std::atomic<uint64_t> name_hash{0};  ///< FNV-1a, never 0 once written
+  char name[kMaxLockName + 1] = {};
+  /// Published (release) only after the lock is fully constructed:
+  /// Inserting + null lock  => roll back to tombstone,
+  /// Inserting + lock       => finish the CAS to Ready on the dead
+  /// inserter's behalf. Tombstoning clears it first, so a reused cell
+  /// can never expose a stale pointer as "construction finished".
+  std::atomic<RecoverableLock*> lock{nullptr};
+  std::atomic<uint32_t> owner{0};  ///< live CS tripwire: slot + 1, 0 = free
+  std::atomic<uint32_t> cs_overlaps{0};
+  std::atomic<uint64_t> acquisitions{0};
+  rmr::Atomic<uint64_t> cs_scratch;  ///< instrumented CS working set
+};
+
+struct alignas(kCacheLineBytes) Stripe {
+  std::atomic<uint64_t> word{0};  ///< [epoch | holder os_pid | StripeState]
+};
+
+/// Lockd event-log record (per-entry ME/BCSR evidence). Same commit
+/// discipline as shm::ShmEvent: payload first, `kind` last with release.
+struct LockdEvent {
+  std::atomic<uint32_t> kind{0};  ///< shm::EventKind
+  uint32_t slot = 0;
+  uint32_t entry = 0;
+  uint32_t recovery = 0;  ///< 1 = passage run on a dead slot's behalf
+  uint64_t passage = 0;
+};
+
+/// The service control block, published as the segment root. Arrays are
+/// stored as segment offsets (not pointers) so a status tool mapped at a
+/// foreign address can still walk them.
+struct ServiceControl {
+  uint64_t magic = kServiceMagic;
+  uint32_t version = kServiceVersion;
+  uint32_t num_slots = 0;
+  uint32_t dir_capacity = 0;  ///< power of two
+  uint32_t num_stripes = 0;   ///< power of two
+  char lock_kind[32] = {};
+  /// Address of a function in this executable image as the creator saw
+  /// it. Lock pointers (vtables!) are only usable by processes whose
+  /// image matches — forks of the creator, or the same binary+slide
+  /// reattaching. Everyone else gets read-only status access.
+  uint64_t text_anchor = 0;
+  uint64_t self_off = 0;  ///< offset of this block from the segment base
+  uint64_t slots_off = 0, dir_off = 0, stripes_off = 0, log_off = 0;
+  uint64_t log_cap = 0;
+
+  std::atomic<uint64_t> daemon_word{0};  ///< [epoch | os_pid | DaemonState]
+  std::atomic<uint64_t> daemon_incarnation{0};
+  std::atomic<uint64_t> daemon_heartbeat{0};
+  std::atomic<uint64_t> daemon_takeovers{0};
+  std::atomic<const char*> daemon_probe_site{""};
+  std::atomic<uint32_t> stop{0};   ///< asks the daemon to drain and exit
+  std::atomic<uint32_t> ready{0};  ///< daemon finished its takeover sweep
+
+  std::atomic<uint64_t> recovered_slots{0};
+  std::atomic<uint64_t> rolled_back_inserts{0};
+  std::atomic<uint64_t> assisted_inserts{0};  ///< finished for a dead inserter
+  std::atomic<uint64_t> cs_overlap_events{0};
+  std::atomic<uint64_t> lease_grants{0};
+
+  std::atomic<uint64_t> log_next{0};
+  std::atomic<uint32_t> log_overflow{0};
+
+  /// Cross-process futex parking (shared waiter counts); the driver
+  /// installs it before the first fork.
+  rmr_detail::ParkLot park_lot;
+  /// Child-side SIGKILL attribution (crash/crash.hpp); index = the slot
+  /// (daemon uses index num_slots). Sized kMaxProcs like every consumer.
+  SigkillCrash::PidSlot kill_slots[kMaxProcs];
+  /// Segment-resident crash-controller chain consulted by probes and by
+  /// every instrumented op of leased clients. Null = no injection.
+  std::atomic<CrashController*> crash{nullptr};
+
+  // Driver bookkeeping, indexed by *client index* (not slot): progress
+  // survives the client's death and seeds its respawn.
+  std::atomic<uint64_t> client_done[kMaxProcs] = {};
+  std::atomic<uint64_t> client_attempts[kMaxProcs] = {};
+  std::atomic<uint64_t> client_incarnation[kMaxProcs] = {};
+  std::atomic<uint32_t> client_finished[kMaxProcs] = {};
+};
+
+inline char* SegmentBaseOf(const ServiceControl* c) {
+  return const_cast<char*>(reinterpret_cast<const char*>(c)) - c->self_off;
+}
+inline ClientSlot* Slots(const ServiceControl* c) {
+  return reinterpret_cast<ClientSlot*>(SegmentBaseOf(c) + c->slots_off);
+}
+inline DirEntry* Dir(const ServiceControl* c) {
+  return reinterpret_cast<DirEntry*>(SegmentBaseOf(c) + c->dir_off);
+}
+inline Stripe* Stripes(const ServiceControl* c) {
+  return reinterpret_cast<Stripe*>(SegmentBaseOf(c) + c->stripes_off);
+}
+inline LockdEvent* Log(const ServiceControl* c) {
+  return reinterpret_cast<LockdEvent*>(SegmentBaseOf(c) + c->log_off);
+}
+
+/// FNV-1a 64 over the name bytes, pinched away from 0 (0 = "not yet
+/// written" in DirEntry::name_hash).
+uint64_t HashLockName(const char* name);
+
+/// kill(pid, 0) liveness: false only on ESRCH. Callers must ensure
+/// corpses are reaped (a zombie is "alive" to kill()); both the driver
+/// parent and the daemon reap their children promptly.
+bool ProcessAlive(uint32_t os_pid);
+
+// ---------------------------------------------------------------------------
+// Service handle: owns this process's mapping of the segment.
+// ---------------------------------------------------------------------------
+
+struct ServiceConfig {
+  std::string shm_name = "rme-lockd";
+  std::string lock_kind = "ba";  ///< must be strongly recoverable
+  int num_slots = 8;             ///< lock-level pids; < kMaxProcs
+  uint32_t dir_capacity = 64;    ///< rounded up to a power of two
+  uint64_t log_cap = 1u << 16;
+  size_t segment_bytes = 64u << 20;
+};
+
+class Service {
+ public:
+  /// Creates a fresh named segment + directory (replacing a stale entry,
+  /// refusing a foreign one — Segment::NamedMode::kCreateFresh).
+  static std::unique_ptr<Service> Create(const ServiceConfig& cfg);
+  /// Attaches to an existing valid segment; aborts with a diagnostic if
+  /// the name is absent/stale/foreign.
+  static std::unique_ptr<Service> Attach(const std::string& shm_name);
+  /// Attach when a valid segment exists, else create.
+  static std::unique_ptr<Service> AttachOrCreate(const ServiceConfig& cfg);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  ServiceControl* ctl() const { return ctl_; }
+  shm::Segment& segment() { return *seg_; }
+  bool attached() const { return seg_->attached(); }
+  const std::string& shm_name() const { return shm_name_; }
+  /// Keep (true) or unlink (false, default) the /dev/shm entry when this
+  /// handle dies. Persistence across runs = set_persist(true).
+  void set_persist(bool persist) { seg_->set_unlink_on_destroy(!persist); }
+  /// True iff DirEntry lock pointers are usable from this process
+  /// (text_anchor matches — same image, same slide or a fork).
+  bool locks_usable() const;
+
+ private:
+  Service() = default;
+  std::unique_ptr<shm::Segment> seg_;
+  ServiceControl* ctl_ = nullptr;
+  std::string shm_name_;
+};
+
+// ---------------------------------------------------------------------------
+// Client operations. All take the slot explicitly — a process bound as
+// slot r can run a recovery passage as dead slot s.
+// ---------------------------------------------------------------------------
+
+/// Claims a Free slot: CAS Free -> Handshaking(my os_pid), incarnation
+/// bump, probe "ld.lease.brk" (the mid-handshake kill window), CAS ->
+/// Live. Returns the slot, or -1 if no slot is currently Free (callers
+/// back off, optionally assisting recovery of Dead slots first).
+int AcquireLease(ServiceControl* ctl);
+
+/// CAS Live(me) -> Free. No-op if the slot was fenced away (we were
+/// presumed dead); the fencer owns it now.
+void ReleaseLease(ServiceControl* ctl, int slot);
+
+/// True while `slot`'s word is still Live under this process's os_pid
+/// with the given incarnation.
+bool LeaseValid(const ServiceControl* ctl, int slot, uint64_t incarnation);
+
+/// Looks up `name`, inserting it (stripe-serialized, PlacementScope-built
+/// lock) if absent. Returns the entry index. Aborts with a diagnostic on
+/// a full directory or an over-long name. `slot` is the acting pid for
+/// probe sites ("ld.insert.brk" before the lock build, "ld.publish.brk"
+/// between lock publication and the Ready transition).
+int GetOrInsertEntry(ServiceControl* ctl, shm::Segment* seg, const char* name,
+                     int slot);
+
+/// One full passage of `slot` on entry `entry`: Recover/Enter, logged-CS
+/// bracket (reserve -> cs_ticket -> probe -> commit), `cs_ops` fetch-adds
+/// on the entry's instrumented scratch word, bracketed exit, Exit.
+void RunPassage(ServiceControl* ctl, int slot, int entry, int cs_ops);
+
+/// Marks every slot whose word carries `os_pid` (Live, Handshaking, or
+/// as a Recovering actor) as Dead. The driver calls it after reaping a
+/// SIGKILLed client; the daemon's sweep does the same via ESRCH probes.
+/// Returns the number of slots marked.
+int MarkDeadByOsPid(ServiceControl* ctl, uint32_t os_pid);
+
+/// Recovery body for a slot the caller has already fenced to
+/// Recovering(actor): cs_ticket forensics (kCrashNoted + owner-word
+/// release if the corpse died inside the logged CS), then — if a passage
+/// was in flight — a full logged passage on the dead slot's behalf.
+/// Idempotent: a re-fenced retry after a dead recoverer redoes it safely.
+void RecoverSlotBody(ServiceControl* ctl, int slot);
+
+/// Fences at most one Dead slot to Recovering(my os_pid), runs
+/// RecoverSlotBody, and frees it. Clients call this between passages
+/// ("the next waiter runs Recover()"), so recovery does not depend on
+/// the daemon being alive. Returns true if a slot was recovered.
+bool AssistRecoverOne(ServiceControl* ctl);
+
+/// Resolves an Inserting entry whose inserter is dead: completes the
+/// Ready transition if the lock was published, else tombstones. Returns
+/// true if the entry is no longer Inserting (by us or anyone).
+bool ResolveInsertingEntry(ServiceControl* ctl, uint32_t idx);
+
+// ---------------------------------------------------------------------------
+// Daemon.
+// ---------------------------------------------------------------------------
+
+struct DaemonConfig {
+  /// Sweep cadence. Small enough that a dead client's lock is released
+  /// well inside a waiter's park timeout even with no assisting clients.
+  uint32_t sweep_interval_us = 300;
+  /// Re-validate the named /dev/shm entry's header on takeover (the
+  /// daemon-death reattach contract). Disabled for anonymous segments.
+  bool validate_named = true;
+};
+
+/// Takes over (or becomes) the daemon for the service and runs the sweep
+/// loop until ctl->stop. Recovery of dead slots is delegated to forked
+/// helper processes (one per slot) so one recovery blocked behind
+/// another dead holder never serializes the rest. Returns 0 on a clean
+/// stop, 1 if a live daemon already serves the segment.
+int RunDaemon(Service& svc, const DaemonConfig& dc = {});
+
+// Lockd event log (same reserve/commit discipline as shm_layout's).
+
+/// Reserves a log slot; ~0 means the log is full (overflow flagged).
+uint64_t ReserveLdEvent(ServiceControl* ctl);
+void CommitLdEvent(ServiceControl* ctl, uint64_t idx, shm::EventKind kind,
+                   int slot, uint32_t entry, uint64_t passage, bool recovery);
+void AppendLdEvent(ServiceControl* ctl, shm::EventKind kind, int slot,
+                   uint32_t entry, uint64_t passage, bool recovery);
+
+}  // namespace rme::lockd

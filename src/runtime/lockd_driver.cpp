@@ -1,0 +1,800 @@
+#include "runtime/lockd_driver.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/lockd.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace rme::lockd {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepBriefly() {
+  struct timespec ts{0, 200'000};  // 200us
+  ::nanosleep(&ts, nullptr);
+}
+
+/// The whole life of client index `d`, in a forked child. Never returns.
+/// Unlike the fork harness's ChildMain, lock-level identity is not fixed:
+/// each lap of the outer loop acts as whatever ClientSlot lease it wins,
+/// so a SIGKILL here leaves a *slot* husk for the daemon (or another
+/// client's assist) to fence and recover, and the respawn may come back
+/// as a different slot entirely. Progress lives in the segment keyed by
+/// client index and survives both the kill and the slot change.
+[[noreturn]] void ClientMain(Service& svc, const LockdDriverConfig& cfg,
+                             int d, uint64_t incarnation) {
+  ServiceControl* ctl = svc.ctl();
+  if (ctl->client_incarnation[d].load(std::memory_order_acquire) !=
+      incarnation) {
+    std::_Exit(0);  // stale: the parent respawned past us
+  }
+  // Inherited context image from the parent thread: start clean before
+  // any instrumented op, then wake everyone our corpse may have parked.
+  CurrentProcess() = ProcessContext{};
+  WakeAllParked();
+  CrashController* crash = ctl->crash.load(std::memory_order_acquire);
+  // Stream from (client, incarnation): a respawn must not replay its
+  // corpse's name schedule.
+  Prng rng(cfg.seed, (incarnation << 16) + static_cast<uint64_t>(d) + 4242);
+
+  int slot = -1;
+  std::optional<ProcessBinding> binding;  // bound iff slot >= 0
+  uint64_t lease_wait = 0;
+  char name[kMaxLockName + 1];
+
+  try {
+    uint64_t done = ctl->client_done[d].load(std::memory_order_acquire);
+    while (done < cfg.acquires_per_client) {
+      if (slot < 0) {
+        slot = AcquireLease(ctl);
+        if (slot < 0) {
+          // Slot table exhausted: either oversubscribed (someone else's
+          // lease will end) or every slot is a corpse (then *we* are the
+          // recovery path — "the next waiter runs Recover()").
+          if (cfg.assist_recovery) (void)AssistRecoverOne(ctl);
+          // Counts as liveness for the parent's per-client watchdog: a
+          // client starved of slots is waiting, not wedged.
+          ctl->client_attempts[d].fetch_add(1, std::memory_order_relaxed);
+          SpinPause(lease_wait++);
+          continue;
+        }
+        lease_wait = 0;
+        // Bind only while leased: instrumented ops attribute to the slot
+        // and the crash chain draws from the slot's streams.
+        binding.emplace(slot, crash);
+      }
+
+      ctl->client_attempts[d].fetch_add(1, std::memory_order_relaxed);
+      std::snprintf(name, sizeof name, "lock-%llu",
+                    static_cast<unsigned long long>(
+                        rng.NextBounded(static_cast<uint64_t>(cfg.num_names))));
+      const int entry = GetOrInsertEntry(ctl, &svc.segment(), name, slot);
+      RunPassage(ctl, slot, entry, cfg.cs_shared_ops);
+      done = ctl->client_done[d].fetch_add(1, std::memory_order_acq_rel) + 1;
+
+      for (int j = 0; j < cfg.ncs_local_work; ++j) (void)rng.Next();
+      if (cfg.assist_recovery && (done & 7) == 0) (void)AssistRecoverOne(ctl);
+
+      if (cfg.lease_passages != 0 && done % cfg.lease_passages == 0) {
+        binding.reset();
+        ReleaseLease(ctl, slot);
+        slot = -1;
+      }
+    }
+  } catch (const RunAborted&) {
+    std::_Exit(ctl->stop.load(std::memory_order_acquire) != 0 ? 0 : 4);
+  }
+
+  // Graceful shutdown: no injection while handing the slot back.
+  CurrentProcess().SetCrashController(nullptr);
+  if (slot >= 0) {
+    binding.reset();
+    ReleaseLease(ctl, slot);
+  }
+  ctl->client_finished[d].store(1, std::memory_order_release);
+  std::_Exit(0);
+}
+
+[[noreturn]] void DaemonMain(Service& svc, uint32_t sweep_us) {
+  CurrentProcess() = ProcessContext{};
+  WakeAllParked();
+  DaemonConfig dc;
+  dc.sweep_interval_us = sweep_us;
+  const int rc = RunDaemon(svc, dc);
+  std::_Exit(rc == 0 ? 0 : 5);
+}
+
+/// A slot stuck mid-handshake: claimed by a client that died inside the
+/// "ld.lease.brk" window. Only a daemon sweep clears it (AcquireLease
+/// skips non-Free slots), which is exactly why the driver kills the
+/// daemon the moment it sees one — the *next* daemon must absorb it.
+bool AnyHandshakeHusk(const ServiceControl* ctl) {
+  const ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    const uint64_t w = slots[s].word.load(std::memory_order_acquire);
+    if (WordState(w) == kSlotHandshaking && !ProcessAlive(WordPid(w))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// A directory entry stuck mid-insert ("ld.insert.brk"/"ld.publish.brk"
+/// corpse). Clients that look the same name up resolve it themselves, so
+/// unlike the handshake husk this one races the finder — the targeted
+/// kill counts the daemon death *while the husk existed*, which is the
+/// contract under test.
+bool AnyInsertHusk(const ServiceControl* ctl) {
+  const DirEntry* dir = Dir(ctl);
+  for (uint32_t i = 0; i < ctl->dir_capacity; ++i) {
+    const uint64_t w = dir[i].word.load(std::memory_order_acquire);
+    if (WordState(w) == kEntryInserting && !ProcessAlive(WordPid(w))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Hang diagnostic, printed before the watchdog SIGKILL.
+void DumpHungClient(const ServiceControl* ctl, int d, pid_t os_pid,
+                    double flat_seconds) {
+  std::fprintf(stderr,
+               "LOCKD-HANG: client %d (os pid %d) flat for %.2fs: "
+               "done=%llu attempts=%llu inc=%llu\n",
+               d, static_cast<int>(os_pid), flat_seconds,
+               static_cast<unsigned long long>(
+                   ctl->client_done[d].load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   ctl->client_attempts[d].load(std::memory_order_relaxed)),
+               static_cast<unsigned long long>(
+                   ctl->client_incarnation[d].load(std::memory_order_relaxed)));
+  const ClientSlot* slots = Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    const uint64_t w = slots[s].word.load(std::memory_order_relaxed);
+    if (WordState(w) == kSlotFree) continue;
+    const char* site = slots[s].last_probe_site.load(std::memory_order_relaxed);
+    std::fprintf(
+        stderr,
+        "  slot %u: %s pid=%u epoch=%llu phase=%s active_entry=%u "
+        "last_probe=%s\n",
+        s, SlotStateName(WordState(w)), WordPid(w),
+        static_cast<unsigned long long>(WordEpoch(w)),
+        shm::PidPhaseName(slots[s].phase.load(std::memory_order_relaxed)),
+        slots[s].active_entry.load(std::memory_order_relaxed),
+        site != nullptr ? site : "(none)");
+  }
+  const uint64_t dw = ctl->daemon_word.load(std::memory_order_relaxed);
+  std::fprintf(stderr, "  daemon: state=%u pid=%u heartbeat=%llu probe=%s\n",
+               WordState(dw), WordPid(dw),
+               static_cast<unsigned long long>(
+                   ctl->daemon_heartbeat.load(std::memory_order_relaxed)),
+               ctl->daemon_probe_site.load(std::memory_order_relaxed));
+}
+
+/// Post-hoc ME/BCSR verdicts from the lockd event log, per directory
+/// entry — the same reconstruction ScanLog does for the fork harness,
+/// with (slot, entry) in place of (pid). Runs in the parent once every
+/// child is dead or finished, so the log is quiescent.
+void ScanLdLog(const ServiceControl* ctl, LockdDriverResult* r) {
+  const uint64_t count = std::min<uint64_t>(
+      ctl->log_next.load(std::memory_order_acquire), ctl->log_cap);
+  // holder[e]: slot + 1 currently inside e's logged CS; obliged[e]: slots
+  // that crashed inside it and are owed the reentry (strong locks only
+  // are admitted by Service::Create, so BCSR is unconditional here).
+  std::vector<uint32_t> holder(ctl->dir_capacity, 0);
+  std::vector<uint64_t> obliged(ctl->dir_capacity, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    const LockdEvent& e = Log(ctl)[i];
+    const auto kind = static_cast<shm::EventKind>(
+        e.kind.load(std::memory_order_acquire));
+    if (kind == shm::EventKind::kInvalid) continue;  // killed mid-append
+    if (e.entry >= ctl->dir_capacity) continue;      // daemon kDone marker
+    const uint64_t bit = uint64_t{1} << (e.slot & 63);
+    switch (kind) {
+      case shm::EventKind::kEnter:
+        if (obliged[e.entry] != 0 && (obliged[e.entry] & bit) == 0) {
+          ++r->bcsr_violations;
+        }
+        obliged[e.entry] &= ~bit;
+        if (holder[e.entry] != 0 && holder[e.entry] != e.slot + 1) {
+          ++r->me_violations;
+        }
+        holder[e.entry] = e.slot + 1;
+        break;
+      case shm::EventKind::kExit:
+        holder[e.entry] = 0;
+        break;
+      case shm::EventKind::kCrashNoted:
+        // Emitted by a recoverer iff the log holds the corpse's
+        // unmatched kEnter; anything else is forensic over-reporting.
+        if (holder[e.entry] == e.slot + 1) {
+          holder[e.entry] = 0;
+          obliged[e.entry] |= bit;
+        } else {
+          ++r->phantom_crash_notes;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  r->log_events = count;
+}
+
+}  // namespace
+
+LockdDriverResult RunLockdWorkload(const LockdDriverConfig& cfg) {
+  RME_CHECK(cfg.num_clients > 0 && cfg.num_clients <= kMaxProcs);
+  RME_CHECK(cfg.num_slots > 0 && cfg.num_slots < kMaxProcs);
+  RME_CHECK(cfg.acquires_per_client > 0 && cfg.num_names > 0);
+  RME_CHECK_MSG(cfg.num_clients <= cfg.num_slots || cfg.lease_passages > 0,
+                "oversubscribed clients need lease cycling "
+                "(lease_passages > 0) or the surplus starves");
+
+  ServiceConfig scfg;
+  scfg.shm_name = cfg.shm_name;
+  scfg.lock_kind = cfg.lock_kind;
+  scfg.num_slots = cfg.num_slots;
+  scfg.segment_bytes = cfg.segment_bytes;
+  scfg.dir_capacity = cfg.dir_capacity != 0
+                          ? cfg.dir_capacity
+                          : static_cast<uint32_t>(cfg.num_names) * 2 + 16;
+  // Every passage logs 2 events; every kill at most 1 kCrashNoted plus a
+  // 2-event recovery passage; generous headroom for retries after kills.
+  const uint64_t kill_budget =
+      cfg.client_kills + cfg.daemon_kills + cfg.daemon_kills_in_handshake +
+      cfg.daemon_kills_in_insert +
+      static_cast<uint64_t>(std::max<int64_t>(cfg.self_kill_budget, 0)) +
+      (cfg.site_kill_site.empty() ? 0 : cfg.site_kill_count);
+  scfg.log_cap =
+      cfg.log_cap != 0
+          ? cfg.log_cap
+          : 4 * static_cast<uint64_t>(cfg.num_clients) *
+                    cfg.acquires_per_client +
+                16 * kill_budget + 4096;
+
+  std::unique_ptr<Service> svc = cfg.attach_existing
+                                     ? Service::AttachOrCreate(scfg)
+                                     : Service::Create(scfg);
+  svc->set_persist(cfg.persist_segment);
+  ServiceControl* ctl = svc->ctl();
+
+  LockdDriverResult result;
+  const bool reattached = svc->attached();
+
+  // Per-run driver bookkeeping. On a reattach the directory, slots, log
+  // and cumulative service counters all carry over (that continuity is
+  // the point); only the quota/stop words belong to a single run.
+  ctl->stop.store(0, std::memory_order_relaxed);
+  for (int d = 0; d < cfg.num_clients; ++d) {
+    ctl->client_done[d].store(0, std::memory_order_relaxed);
+    ctl->client_attempts[d].store(0, std::memory_order_relaxed);
+    ctl->client_finished[d].store(0, std::memory_order_relaxed);
+  }
+  const uint64_t lease_grants0 =
+      ctl->lease_grants.load(std::memory_order_relaxed);
+  const uint64_t recovered0 =
+      ctl->recovered_slots.load(std::memory_order_relaxed);
+  const uint64_t takeovers0 =
+      ctl->daemon_takeovers.load(std::memory_order_relaxed);
+  const uint64_t rolled_back0 =
+      ctl->rolled_back_inserts.load(std::memory_order_relaxed);
+  const uint64_t assisted0 =
+      ctl->assisted_inserts.load(std::memory_order_relaxed);
+
+  // Fresh crash chain in the segment every run (a reattached chain would
+  // carry spent budgets and the previous process's heap site strings).
+  CrashController* crash = nullptr;
+  {
+    shm::Segment& seg = svc->segment();
+    std::vector<CrashController*> parts;
+    if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
+      parts.push_back(seg.New<RandomCrash>(cfg.seed ^ 0x10c4dull,
+                                           cfg.self_kill_per_op,
+                                           cfg.self_kill_budget));
+    }
+    if (!cfg.site_kill_site.empty()) {
+      // Slot-level pid: num_slots targets the daemon's probe identity.
+      RME_CHECK(cfg.site_kill_slot >= 0 && cfg.site_kill_slot <= cfg.num_slots);
+      parts.push_back(seg.New<SiteCrash>(cfg.site_kill_slot,
+                                         cfg.site_kill_site,
+                                         /*after_op=*/true, cfg.site_kill_nth,
+                                         cfg.site_kill_count));
+    }
+    if (parts.size() == 1) {
+      crash = seg.New<SigkillCrash>(parts[0], ctl->kill_slots);
+    } else if (!parts.empty()) {
+      crash = seg.New<SigkillCrash>(seg.New<CompositeCrash>(parts),
+                                    ctl->kill_slots);
+    }
+  }
+  ctl->crash.store(crash, std::memory_order_release);
+
+  // Cross-process parking + spin override, installed before the first
+  // fork so every child inherits both (see fork_harness for the why).
+  rmr_detail::ParkLot* prev_lot = InstallParkLot(&ctl->park_lot);
+  const SpinConfig saved_spin = spin_config();
+  if (cfg.spin_budget_us >= 0) {
+    spin_config().spin_budget_us = static_cast<uint32_t>(cfg.spin_budget_us);
+  }
+  ResetGlobalAbort();
+
+  struct ClientState {
+    pid_t os_pid = -1;
+    bool alive = false;
+    bool finished = false;
+    bool parent_kill_pending = false;
+    bool watchdog_kill_pending = false;
+    uint64_t last_progress = 0;
+    double last_progress_at = 0.0;
+    int hang_respawns = 0;
+    bool respawn_scheduled = false;
+    double respawn_at = 0.0;
+  };
+  std::vector<ClientState> clients(static_cast<size_t>(cfg.num_clients));
+
+  auto client_progress = [&](int d) {
+    return ctl->client_done[d].load(std::memory_order_relaxed) +
+           ctl->client_attempts[d].load(std::memory_order_relaxed);
+  };
+
+  auto spawn_client = [&](int d) {
+    const uint64_t inc =
+        ctl->client_incarnation[d].fetch_add(1, std::memory_order_acq_rel) + 1;
+    const pid_t c = ::fork();
+    RME_CHECK_MSG(c >= 0, "fork failed");
+    if (c == 0) ClientMain(*svc, cfg, d, inc);
+    ClientState& cs = clients[static_cast<size_t>(d)];
+    cs.os_pid = c;
+    cs.alive = true;
+    cs.last_progress = client_progress(d);
+    cs.last_progress_at = NowSeconds();
+  };
+
+  pid_t daemon_pid = -1;
+  bool daemon_respawn_scheduled = false;
+  double daemon_respawn_at = 0.0;
+  auto spawn_daemon = [&] {
+    const pid_t c = ::fork();
+    RME_CHECK_MSG(c >= 0, "fork failed");
+    if (c == 0) DaemonMain(*svc, cfg.daemon_sweep_us);
+    daemon_pid = c;
+    daemon_respawn_scheduled = false;
+  };
+
+  const double t0 = NowSeconds();
+  spawn_daemon();
+  // Hold the clients until the daemon's first takeover is recorded: the
+  // targeted-kill gate refuses to spend budget against a daemon that
+  // never took over, and a fast client storm can otherwise burn every
+  // site-kill window (the husk windows open at the *first* claims of a
+  // slot) during daemon startup. Bounded: a daemon that cannot take
+  // over within 2 s is a bug the workload will surface anyway.
+  {
+    const double takeover_deadline = NowSeconds() + 2.0;
+    while (ctl->daemon_takeovers.load(std::memory_order_acquire) <=
+               takeovers0 &&
+           NowSeconds() < takeover_deadline) {
+      SleepBriefly();
+    }
+  }
+  for (int d = 0; d < cfg.num_clients; ++d) spawn_client(d);
+
+  Prng kill_rng(cfg.seed, 0x6b111ull);
+  uint64_t client_kills_left = cfg.client_kills;
+  uint64_t daemon_kills_left = cfg.daemon_kills;
+  uint64_t hs_kills_left = cfg.daemon_kills_in_handshake;
+  uint64_t ins_kills_left = cfg.daemon_kills_in_insert;
+  double next_kill_at = t0 + cfg.kill_interval_ms / 1000.0;
+  // Targeted-kill gate: require a fresh takeover between firings, or one
+  // unswept husk could drain the whole budget against dead daemons.
+  uint64_t takeover_gate = 0;
+
+  uint64_t last_progress = 0;
+  double last_progress_at = t0;
+  bool shutting_down = false;
+  bool stop_requested = false;
+
+  auto progress_now = [&] {
+    uint64_t p = result.client_kill_deaths + result.daemon_kill_deaths +
+                 ctl->daemon_heartbeat.load(std::memory_order_relaxed) +
+                 ctl->recovered_slots.load(std::memory_order_relaxed);
+    for (int d = 0; d < cfg.num_clients; ++d) p += client_progress(d);
+    return p;
+  };
+
+  for (;;) {
+    // Reap everything that died since the last poll. Prompt reaping is
+    // load-bearing: ESRCH liveness (husk detection, dead-slot sweeps)
+    // sees zombies as alive.
+    for (;;) {
+      int status = 0;
+      const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+      if (dead <= 0) break;
+
+      if (dead == daemon_pid) {
+        daemon_pid = -1;
+        if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+          ++result.daemon_kill_deaths;
+        } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          ++result.child_errors;
+        } else if (stop_requested) {
+          result.daemon_stopped_cleanly = true;
+        }
+        if (!shutting_down && !stop_requested) {
+          daemon_respawn_scheduled = true;
+          daemon_respawn_at = NowSeconds() + 0.001;
+        }
+        continue;
+      }
+
+      int d = -1;
+      for (int j = 0; j < cfg.num_clients; ++j) {
+        if (clients[static_cast<size_t>(j)].os_pid == dead) {
+          d = j;
+          break;
+        }
+      }
+      if (d < 0) continue;  // a daemon's orphaned helper, reparented here
+      ClientState& cs = clients[static_cast<size_t>(d)];
+      cs.alive = false;
+      // Targeted daemon kills, reap-time variant: this is the ONLY
+      // moment the parent can observe a mid-handshake husk — before the
+      // reap the corpse is a zombie (ESRCH-based scans call it alive),
+      // and the MarkDeadByOsPid below fences Handshaking -> Dead itself.
+      // So match the corpse's pid against the slot/dir words directly,
+      // and when a handshake husk is claimed by the kill budget, leave
+      // the slot Handshaking: the fresh daemon's ESRCH sweep absorbing
+      // it is exactly the contract under test.
+      bool leave_handshake_husk = false;
+      if (!shutting_down && daemon_pid > 0 &&
+          (hs_kills_left > 0 || ins_kills_left > 0) &&
+          ctl->daemon_takeovers.load(std::memory_order_acquire) >
+              takeover_gate) {
+        const uint32_t dp = static_cast<uint32_t>(dead);
+        bool hs_husk = false;
+        const ClientSlot* slots_arr = Slots(ctl);
+        for (uint32_t s = 0; s < ctl->num_slots && !hs_husk; ++s) {
+          const uint64_t w = slots_arr[s].word.load(std::memory_order_acquire);
+          hs_husk = WordState(w) == kSlotHandshaking && WordPid(w) == dp;
+        }
+        bool ins_husk = false;
+        if (!hs_husk && ins_kills_left > 0) {
+          const DirEntry* dir = Dir(ctl);
+          for (uint32_t i = 0; i < ctl->dir_capacity && !ins_husk; ++i) {
+            const uint64_t w = dir[i].word.load(std::memory_order_acquire);
+            ins_husk = WordState(w) == kEntryInserting && WordPid(w) == dp;
+          }
+        }
+        if ((hs_husk && hs_kills_left > 0) || ins_husk) {
+          takeover_gate =
+              ctl->daemon_takeovers.load(std::memory_order_acquire);
+          ::kill(daemon_pid, SIGKILL);
+          if (hs_husk) {
+            --hs_kills_left;
+            ++result.daemon_kills_handshake;
+            leave_handshake_husk = true;
+          } else {
+            --ins_kills_left;
+            ++result.daemon_kills_insert;
+          }
+        }
+      }
+      // Whatever slot (lease or assist fence) the corpse was acting as
+      // is now Dead; the parent marks it immediately rather than waiting
+      // for the daemon's ESRCH sweep, mirroring a real lockd where the
+      // OS-level death notice beats the poll.
+      if (!leave_handshake_husk) {
+        (void)MarkDeadByOsPid(ctl, static_cast<uint32_t>(dead));
+      }
+
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        if (ctl->client_finished[d].load(std::memory_order_acquire) != 0) {
+          cs.finished = true;
+        } else if (!shutting_down) {
+          // Clean exit without the finished flag: only the stale-respawn
+          // guard does that, and the parent never double-spawns a slot.
+          ++result.child_errors;
+          cs.finished = true;
+        }
+        continue;
+      }
+
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+        ++result.client_kill_deaths;
+        if (cs.watchdog_kill_pending) {
+          cs.watchdog_kill_pending = false;
+          if (shutting_down) continue;
+          if (cs.hang_respawns >= cfg.max_hang_respawns) {
+            ++result.hung_abandoned;
+            cs.finished = true;
+            std::fprintf(stderr,
+                         "LOCKD-HANG: client %d abandoned after %d hang "
+                         "respawns\n",
+                         d, cs.hang_respawns);
+          } else {
+            const double backoff = std::min(
+                1.0, 0.05 * static_cast<double>(
+                                uint64_t{1} << std::min(cs.hang_respawns, 20)));
+            ++cs.hang_respawns;
+            cs.respawn_scheduled = true;
+            cs.respawn_at = NowSeconds() + backoff;
+          }
+        } else {
+          cs.parent_kill_pending = false;
+          if (!shutting_down) spawn_client(d);
+        }
+        continue;
+      }
+
+      // Abort in a child RME_CHECK, sanitizer, ...: a bug, not a kill.
+      ++result.child_errors;
+      cs.finished = true;
+    }
+
+    if (std::all_of(clients.begin(), clients.end(),
+                    [](const ClientState& c) { return c.finished; })) {
+      break;
+    }
+    if (shutting_down &&
+        std::none_of(clients.begin(), clients.end(),
+                     [](const ClientState& c) { return c.alive; })) {
+      break;
+    }
+
+    const double now = NowSeconds();
+
+    if (!shutting_down) {
+      if (daemon_respawn_scheduled && now >= daemon_respawn_at) {
+        spawn_daemon();
+        ++result.daemon_respawns;
+      }
+      for (int j = 0; j < cfg.num_clients; ++j) {
+        ClientState& c = clients[static_cast<size_t>(j)];
+        if (c.respawn_scheduled && now >= c.respawn_at) {
+          c.respawn_scheduled = false;
+          spawn_client(j);
+        }
+      }
+    }
+
+    // Targeted daemon kills: checked every poll (the husks are transient
+    // — the daemon's own sweep or a client lookup can clear them), fired
+    // only at a live daemon that completed a takeover since the last one.
+    if (!shutting_down && daemon_pid > 0 &&
+        (hs_kills_left > 0 || ins_kills_left > 0) &&
+        ctl->daemon_takeovers.load(std::memory_order_acquire) >
+            takeover_gate) {
+      const bool hs = hs_kills_left > 0 && AnyHandshakeHusk(ctl);
+      const bool ins = !hs && ins_kills_left > 0 && AnyInsertHusk(ctl);
+      if (hs || ins) {
+        takeover_gate = ctl->daemon_takeovers.load(std::memory_order_acquire);
+        ::kill(daemon_pid, SIGKILL);
+        if (hs) {
+          --hs_kills_left;
+          ++result.daemon_kills_handshake;
+        } else {
+          --ins_kills_left;
+          ++result.daemon_kills_insert;
+        }
+      }
+    }
+
+    // Timed kill scheduling: one victim per interval, daemon or client,
+    // drawn proportionally to the remaining budgets. The poll loop runs
+    // coarser than a small interval, so this catches up on the schedule
+    // backlog — per poll it can kill every eligible client once plus the
+    // daemon once (the batch regime when the interval is tiny), which
+    // keeps fast workloads from outrunning the kill budget.
+    if (!shutting_down && now >= next_kill_at &&
+        (client_kills_left > 0 || daemon_kills_left > 0)) {
+      bool daemon_killed_this_poll = false;
+      while (now >= next_kill_at &&
+             (client_kills_left > 0 || daemon_kills_left > 0)) {
+        const bool hit_daemon =
+            daemon_kills_left > 0 && daemon_pid > 0 &&
+            !daemon_killed_this_poll &&
+            kill_rng.NextBounded(client_kills_left + daemon_kills_left) <
+                daemon_kills_left;
+        if (hit_daemon) {
+          --daemon_kills_left;
+          daemon_killed_this_poll = true;
+          ::kill(daemon_pid, SIGKILL);
+        } else {
+          std::vector<int> targets;
+          for (int j = 0; j < cfg.num_clients; ++j) {
+            const ClientState& c = clients[static_cast<size_t>(j)];
+            if (c.alive && !c.finished && !c.parent_kill_pending &&
+                !c.watchdog_kill_pending) {
+              targets.push_back(j);
+            }
+          }
+          if (client_kills_left == 0 || targets.empty()) break;
+          --client_kills_left;
+          const int victim = targets[kill_rng.NextBounded(targets.size())];
+          ClientState& c = clients[static_cast<size_t>(victim)];
+          c.parent_kill_pending = true;
+          ::kill(c.os_pid, SIGKILL);
+        }
+        next_kill_at += cfg.kill_interval_ms / 1000.0;
+      }
+      // Nobody eligible: let the schedule resume from now rather than
+      // accumulating an unbounded backlog against an empty target list.
+      if (now >= next_kill_at) {
+        next_kill_at = now + cfg.kill_interval_ms / 1000.0;
+      }
+    }
+
+    // Per-client liveness watchdog (fork_harness policy: dump, SIGKILL,
+    // respawn under capped backoff, abandon past the cap).
+    if (!shutting_down && cfg.hang_seconds > 0) {
+      for (int j = 0; j < cfg.num_clients; ++j) {
+        ClientState& c = clients[static_cast<size_t>(j)];
+        if (!c.alive || c.finished || c.parent_kill_pending ||
+            c.watchdog_kill_pending) {
+          continue;
+        }
+        const uint64_t p = client_progress(j);
+        if (p != c.last_progress) {
+          c.last_progress = p;
+          c.last_progress_at = now;
+          continue;
+        }
+        if (now - c.last_progress_at <= cfg.hang_seconds) continue;
+        ++result.hangs;
+        DumpHungClient(ctl, j, c.os_pid, now - c.last_progress_at);
+        c.watchdog_kill_pending = true;
+        ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
+    // Global watchdog.
+    const uint64_t progress = progress_now();
+    if (progress != last_progress) {
+      last_progress = progress;
+      last_progress_at = now;
+    } else if (!shutting_down &&
+               now - last_progress_at > cfg.watchdog_seconds) {
+      std::fprintf(stderr,
+                   "LOCKD-WATCHDOG: no progress for %.1fs; killing the run\n",
+                   cfg.watchdog_seconds);
+      result.watchdog_fired = true;
+      shutting_down = true;
+      if (daemon_pid > 0) ::kill(daemon_pid, SIGKILL);
+      for (ClientState& c : clients) {
+        if (c.alive) ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
+    SleepBriefly();
+  }
+
+  // Shutdown. Recover whatever the last kills left behind before asking
+  // the daemon to stop: the parent assists directly (it is part of the
+  // fork tree, so lock pointers are valid here), covering the case where
+  // the daemon happens to be dead at this moment.
+  if (!shutting_down) {
+    const double drain_deadline = NowSeconds() + 10.0;
+    auto any_pending = [&] {
+      const ClientSlot* slots = Slots(ctl);
+      for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+        const uint32_t st =
+            WordState(slots[s].word.load(std::memory_order_acquire));
+        if (st == kSlotDead || st == kSlotRecovering ||
+            st == kSlotHandshaking) {
+          return true;
+        }
+      }
+      return false;
+    };
+    while (any_pending() && NowSeconds() < drain_deadline) {
+      (void)MarkDeadByOsPid(ctl, 0);  // no-op scan; daemon sweep does ESRCH
+      if (!AssistRecoverOne(ctl)) SleepBriefly();
+    }
+    if (daemon_pid <= 0) {
+      spawn_daemon();  // a final daemon drains handshake husks + stops clean
+      ++result.daemon_respawns;
+    }
+  }
+  stop_requested = true;
+  ctl->stop.store(1, std::memory_order_release);
+  if (daemon_pid > 0) {
+    const double stop_deadline = NowSeconds() + 15.0;
+    for (;;) {
+      int status = 0;
+      const pid_t dead = ::waitpid(daemon_pid, &status, WNOHANG);
+      if (dead == daemon_pid) {
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+          result.daemon_stopped_cleanly = true;
+        } else if (!shutting_down) {
+          ++result.child_errors;
+        }
+        break;
+      }
+      if (dead < 0) break;
+      if (NowSeconds() > stop_deadline) {
+        std::fprintf(stderr, "LOCKD-DRIVER: daemon ignored stop; killing\n");
+        ::kill(daemon_pid, SIGKILL);
+        ::waitpid(daemon_pid, &status, 0);
+        ++result.child_errors;
+        break;
+      }
+      SleepBriefly();
+    }
+    daemon_pid = -1;
+  }
+  // Reap any orphaned recovery helpers reparented to us.
+  while (::waitpid(-1, nullptr, WNOHANG) > 0) {
+  }
+
+  result.wall_seconds = NowSeconds() - t0;
+  (void)reattached;
+
+  for (int d = 0; d < cfg.num_clients; ++d) {
+    result.completed += ctl->client_done[d].load(std::memory_order_relaxed);
+    result.attempts += ctl->client_attempts[d].load(std::memory_order_relaxed);
+  }
+  result.all_clients_finished =
+      std::all_of(clients.begin(), clients.end(), [&](const ClientState& c) {
+        return c.finished;
+      }) &&
+      result.hung_abandoned == 0 && !result.watchdog_fired;
+  result.child_site_kills = crash != nullptr ? crash->crashes() : 0;
+  result.daemon_takeovers =
+      ctl->daemon_takeovers.load(std::memory_order_relaxed) - takeovers0;
+  result.recovered_slots =
+      ctl->recovered_slots.load(std::memory_order_relaxed) - recovered0;
+  result.rolled_back_inserts =
+      ctl->rolled_back_inserts.load(std::memory_order_relaxed) - rolled_back0;
+  result.assisted_inserts =
+      ctl->assisted_inserts.load(std::memory_order_relaxed) - assisted0;
+  result.lease_grants =
+      ctl->lease_grants.load(std::memory_order_relaxed) - lease_grants0;
+  result.cs_overlap_events =
+      ctl->cs_overlap_events.load(std::memory_order_relaxed);
+  result.log_overflow =
+      ctl->log_overflow.load(std::memory_order_relaxed) != 0;
+  result.segment_bytes_used = svc->segment().bytes_used();
+  {
+    const DirEntry* dir = Dir(ctl);
+    for (uint32_t i = 0; i < ctl->dir_capacity; ++i) {
+      const uint32_t st = WordState(dir[i].word.load(std::memory_order_relaxed));
+      if (st == kEntryReady) ++result.entries_ready;
+      if (st == kEntryTombstone) ++result.entries_tombstoned;
+    }
+  }
+  ScanLdLog(ctl, &result);
+
+  spin_config() = saved_spin;
+  InstallParkLot(prev_lot);
+  ResetGlobalAbort();
+
+  const std::string shm_name = svc->shm_name();
+  svc.reset();  // unmaps; unlinks the /dev/shm entry unless persisting
+  if (!cfg.persist_segment) {
+    result.segment_leaked =
+        shm::Segment::ProbeNamed(shm_name) != shm::ProbeResult::kAbsent;
+  }
+  return result;
+}
+
+}  // namespace rme::lockd

@@ -1,0 +1,147 @@
+// Multi-process kill-matrix driver for rme-lockd (runtime/lockd.hpp):
+// the fork-harness counterpart for the named-lock service.
+//
+// One single-threaded parent creates (or reattaches) the named service
+// segment, forks the daemon and `num_clients` client processes, and
+// injects failures on both sides:
+//
+//  - client SIGKILLs: parent-side asynchronous kills of random clients,
+//    plus child-side site-precise kills (RandomCrash / SiteCrash under
+//    SigkillCrash) that land inside lease handshakes, directory inserts,
+//    CS brackets and the CS itself;
+//  - daemon SIGKILLs: timed kills, plus *targeted* kills fired exactly
+//    while the segment provably holds a mid-flight state — a Handshaking
+//    slot or an Inserting directory entry whose owner is already dead —
+//    so every fresh daemon's takeover sweep is exercised against the
+//    mid-handshake and mid-insert crash windows the service must absorb.
+//
+// Clients are identified by a *client index* (their progress lives in
+// the segment keyed by index, so a respawn resumes its quota), while
+// lock-level identity is whatever ClientSlot lease each incarnation
+// wins — with num_clients > num_slots and lease cycling this is the
+// oversubscribed slot-churn regime.
+//
+// Verdicts come from the per-entry lockd event log: mutual exclusion and
+// bounded CS reentry per directory lock, phantom crash notes, plus
+// liveness gates (no hung children, no watchdog aborts, full quota
+// completion) and a /dev/shm leak audit after teardown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rme::lockd {
+
+struct LockdDriverConfig {
+  std::string shm_name = "rme-lockd-drv";
+  std::string lock_kind = "ba";
+  int num_slots = 8;
+  int num_clients = 8;  ///< <= kMaxProcs (segment bookkeeping arrays)
+  int num_names = 16;   ///< distinct lock names clients draw from
+  uint64_t acquires_per_client = 200;
+  int cs_shared_ops = 2;
+  int ncs_local_work = 32;
+  /// Release + re-acquire the slot lease every N completed passages
+  /// (0 = hold one lease for life). Required (>0) when
+  /// num_clients > num_slots, or the surplus clients would starve.
+  uint64_t lease_passages = 0;
+  uint64_t seed = 1;
+
+  // Parent-side kills.
+  uint64_t client_kills = 0;  ///< async SIGKILLs of random clients
+  uint64_t daemon_kills = 0;  ///< timed SIGKILLs of the daemon
+  /// Targeted daemon kills: fired when a slot is observably stuck
+  /// mid-handshake (Handshaking, claimant dead) / an entry is stuck
+  /// mid-insert (Inserting, inserter dead). Pair with site kills at
+  /// "ld.lease.brk" / "ld.insert.brk" to manufacture those husks.
+  uint64_t daemon_kills_in_handshake = 0;
+  uint64_t daemon_kills_in_insert = 0;
+  double kill_interval_ms = 2.0;
+
+  // Child-side site-precise kills (see runtime/lockd.cpp probe sites and
+  // the instrumented op sites inside lock code).
+  double self_kill_per_op = 0.0;
+  int64_t self_kill_budget = 0;
+  std::string site_kill_site;
+  int site_kill_slot = 0;
+  uint64_t site_kill_nth = 1;
+  uint64_t site_kill_count = 1;
+
+  /// Clients fence + recover dead slots between their own passages (the
+  /// "next waiter runs Recover()" path); off = only the daemon recovers.
+  bool assist_recovery = true;
+
+  double hang_seconds = 10.0;  ///< per-client flat-progress watchdog
+  int max_hang_respawns = 3;
+  double watchdog_seconds = 30.0;  ///< global no-progress abort
+  int32_t spin_budget_us = -1;     ///< spin->park override (-1 = default)
+  /// Daemon sweep cadence. The targeted daemon kills race the sweep for
+  /// the husk observation window, so the handshake/insert matrices widen
+  /// this (a husk lives ~one sweep period) instead of tightening polls.
+  uint32_t daemon_sweep_us = 300;
+  uint64_t log_cap = 0;            ///< 0 = sized from the workload
+  uint32_t dir_capacity = 0;       ///< 0 = sized from num_names
+  size_t segment_bytes = 64u << 20;
+
+  /// Reattach to a surviving segment from a previous run (AttachOrCreate)
+  /// instead of creating a fresh one.
+  bool attach_existing = false;
+  /// Keep the /dev/shm entry after the run (for a later attach_existing
+  /// run); the final run of a chain leaves it false so the leak audit
+  /// sees the name disappear.
+  bool persist_segment = false;
+};
+
+struct LockdDriverResult {
+  uint64_t completed = 0;  ///< passages finished across all clients
+  uint64_t attempts = 0;   ///< passage attempts + lease-wait iterations
+
+  uint64_t client_kill_deaths = 0;  ///< SIGKILLed client reaps observed
+  uint64_t child_site_kills = 0;    ///< of which child-side (crash chain)
+  uint64_t daemon_kill_deaths = 0;  ///< SIGKILLed daemon reaps observed
+  uint64_t daemon_kills_handshake = 0;  ///< targeted: fired on a handshake husk
+  uint64_t daemon_kills_insert = 0;     ///< targeted: fired on an insert husk
+  uint64_t daemon_respawns = 0;
+  uint64_t daemon_takeovers = 0;  ///< successful takeover sweeps (segment)
+
+  uint64_t recovered_slots = 0;
+  uint64_t rolled_back_inserts = 0;
+  uint64_t assisted_inserts = 0;
+  uint64_t lease_grants = 0;
+  uint64_t entries_ready = 0;
+  uint64_t entries_tombstoned = 0;
+
+  // Event-log verdicts (per directory entry).
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t phantom_crash_notes = 0;
+  uint64_t cs_overlap_events = 0;
+  uint64_t log_events = 0;
+  bool log_overflow = false;
+
+  // Liveness.
+  uint64_t hangs = 0;
+  uint64_t hung_abandoned = 0;
+  bool watchdog_fired = false;
+  uint64_t child_errors = 0;
+  bool all_clients_finished = false;
+  bool daemon_stopped_cleanly = false;
+
+  bool segment_leaked = false;  ///< /dev/shm entry survived a non-persist run
+  double wall_seconds = 0.0;
+  size_t segment_bytes_used = 0;
+
+  /// Every correctness + liveness gate at once (the CI smoke verdict).
+  bool Clean() const {
+    return me_violations == 0 && bcsr_violations == 0 &&
+           phantom_crash_notes == 0 && !log_overflow && hangs == 0 &&
+           hung_abandoned == 0 && !watchdog_fired && child_errors == 0 &&
+           all_clients_finished && !segment_leaked;
+  }
+};
+
+/// Runs the workload. Must be called from a single-threaded parent (it
+/// forks; see runtime/fork_harness.hpp for why).
+LockdDriverResult RunLockdWorkload(const LockdDriverConfig& cfg);
+
+}  // namespace rme::lockd

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -54,23 +55,172 @@ thread_local Segment* tls_placement_segment = nullptr;
 
 size_t RoundUp(size_t v, size_t align) { return (v + align - 1) & ~(align - 1); }
 
+std::string ShmPath(const std::string& name) {
+  return name[0] == '/' ? name : "/" + name;
+}
+
+/// Reads the header of a named entry without mapping it. Returns the
+/// probe verdict; on kValid fills `out` with the header bytes.
+ProbeResult ProbeHeader(const std::string& path, SegmentHeader* out,
+                        std::string* why) {
+  const int fd = ::shm_open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) {
+    if (why != nullptr) *why = "no such segment";
+    return ProbeResult::kAbsent;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    if (why != nullptr) *why = "fstat failed";
+    return ProbeResult::kForeign;
+  }
+  const auto size = static_cast<uint64_t>(st.st_size);
+  uint64_t magic = 0;
+  if (size < sizeof(magic) ||
+      ::pread(fd, &magic, sizeof(magic), 0) != sizeof(magic)) {
+    // A zero-length husk is the signature of a creator SIGKILLed between
+    // shm_open and ftruncate: ours in all but name, and unreadable either
+    // way. Classify as stale so a fresh run replaces it.
+    ::close(fd);
+    if (why != nullptr) *why = "truncated husk (no readable header)";
+    return ProbeResult::kStale;
+  }
+  if (magic != kSegmentMagic) {
+    ::close(fd);
+    if (why != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "magic 0x%016llx is not an RME segment",
+                    static_cast<unsigned long long>(magic));
+      *why = buf;
+    }
+    return ProbeResult::kForeign;
+  }
+  SegmentHeader hdr{};
+  if (size < sizeof(SegmentHeader) ||
+      ::pread(fd, &hdr, sizeof(hdr), 0) !=
+          static_cast<ssize_t>(sizeof(hdr))) {
+    ::close(fd);
+    if (why != nullptr) *why = "RME magic but header truncated";
+    return ProbeResult::kStale;
+  }
+  ::close(fd);
+  if (hdr.version != kSegmentVersion) {
+    if (why != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "RME segment version %u, want %u",
+                    hdr.version, kSegmentVersion);
+      *why = buf;
+    }
+    return ProbeResult::kStale;
+  }
+  if (hdr.capacity != size || hdr.creator_base == 0) {
+    if (why != nullptr) *why = "RME header inconsistent with file size";
+    return ProbeResult::kStale;
+  }
+  if (out != nullptr) {
+    // SegmentHeader holds atomics and is not copy-assignable; the probe
+    // consumers only need the identity/geometry fields.
+    out->magic = hdr.magic;
+    out->version = hdr.version;
+    out->capacity = hdr.capacity;
+    out->creator_base = hdr.creator_base;
+  }
+  return ProbeResult::kValid;
+}
+
 }  // namespace
 
-Segment::Segment(size_t bytes, const std::string& name, bool keep_name) {
-  RME_CHECK_MSG(bytes >= sizeof(SegmentHeader) + 4096,
-                "shm segment too small to be useful");
+ProbeResult Segment::ProbeNamed(const std::string& name, std::string* why) {
+  RME_CHECK_MSG(!name.empty(), "ProbeNamed needs a name");
+  return ProbeHeader(ShmPath(name), nullptr, why);
+}
+
+bool Segment::UnlinkNamed(const std::string& name) {
+  RME_CHECK_MSG(!name.empty(), "UnlinkNamed needs a name");
+  return ::shm_unlink(ShmPath(name).c_str()) == 0;
+}
+
+Segment::Segment(size_t bytes, const std::string& name, bool keep_name,
+                 NamedMode mode) {
   const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
-  capacity_ = RoundUp(bytes, page);
 
   if (name.empty()) {
+    RME_CHECK_MSG(bytes >= sizeof(SegmentHeader) + 4096,
+                  "shm segment too small to be useful");
+    capacity_ = RoundUp(bytes, page);
     base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
                    MAP_SHARED | MAP_ANONYMOUS, -1, 0);
     RME_CHECK_MSG(base_ != MAP_FAILED, "mmap(MAP_SHARED|MAP_ANONYMOUS) failed");
   } else {
-    std::string path = name[0] == '/' ? name : "/" + name;
-    ::shm_unlink(path.c_str());  // stale run with the same name
-    const int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
-    RME_CHECK_MSG(fd >= 0, "shm_open failed");
+    const std::string path = ShmPath(name);
+
+    // Attach-first modes: a valid surviving segment is remapped at its
+    // recorded creator base, so every raw pointer in the arena (lock
+    // objects, log arrays, vtables within one fork tree) stays valid.
+    if (mode == NamedMode::kAttach || mode == NamedMode::kAttachOrCreate) {
+      SegmentHeader hdr{};
+      std::string why;
+      const ProbeResult probe = ProbeHeader(path, &hdr, &why);
+      if (probe == ProbeResult::kValid) {
+        const int fd = ::shm_open(path.c_str(), O_RDWR, 0600);
+        RME_CHECK_MSG(fd >= 0, "shm_open for attach failed");
+        capacity_ = static_cast<size_t>(hdr.capacity);
+        void* want = reinterpret_cast<void*>(hdr.creator_base);
+#ifdef MAP_FIXED_NOREPLACE
+        base_ = ::mmap(want, capacity_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_FIXED_NOREPLACE, fd, 0);
+#else
+        base_ = ::mmap(want, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                       fd, 0);
+        if (base_ != MAP_FAILED && base_ != want) {
+          ::munmap(base_, capacity_);
+          base_ = MAP_FAILED;
+        }
+#endif
+        ::close(fd);
+        RME_CHECK_MSG(base_ != MAP_FAILED && base_ == want,
+                      "cannot remap shm segment at its creator base — "
+                      "the address range is occupied in this process");
+        attached_ = true;
+        header()->attaches.fetch_add(1, std::memory_order_relaxed);
+        if (keep_name) shm_name_ = path;  // attacher never owns the unlink
+        RegisterSegment(base_, capacity_);
+        return;
+      }
+      RME_CHECK_MSG(mode != NamedMode::kAttach,
+                    (std::string("cannot attach to shm segment: ") + why)
+                        .c_str());
+      // kAttachOrCreate falls through to creation; stale leftovers are
+      // replaced below, foreign entries still refuse.
+    }
+
+    RME_CHECK_MSG(bytes >= sizeof(SegmentHeader) + 4096,
+                  "shm segment too small to be useful");
+    capacity_ = RoundUp(bytes, page);
+    int fd = -1;
+    for (int attempt = 0; attempt < 2 && fd < 0; ++attempt) {
+      fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+      if (fd >= 0) break;
+      RME_CHECK_MSG(errno == EEXIST, "shm_open failed");
+      // Leftover entry from a SIGKILLed prior run (or a live service):
+      // validate before touching it. Only entries carrying our magic (or
+      // unreadable husks of our own making) are replaced; anything
+      // foreign is a hard error, never a clobber.
+      std::string why;
+      const ProbeResult probe = ProbeHeader(path, nullptr, &why);
+      RME_CHECK_MSG(probe != ProbeResult::kForeign,
+                    (std::string("refusing to replace non-RME shm entry ") +
+                     path + ": " + why)
+                        .c_str());
+      std::fprintf(stderr,
+                   "shm::Segment: replacing stale segment %s (%s)\n",
+                   path.c_str(),
+                   probe == ProbeResult::kValid ? "valid but unclaimed"
+                                                : why.c_str());
+      ::shm_unlink(path.c_str());
+    }
+    RME_CHECK_MSG(fd >= 0, "shm_open(O_CREAT|O_EXCL) kept failing");
     RME_CHECK_MSG(::ftruncate(fd, static_cast<off_t>(capacity_)) == 0,
                   "ftruncate on shm segment failed");
     base_ = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE, MAP_SHARED,
@@ -79,6 +229,7 @@ Segment::Segment(size_t bytes, const std::string& name, bool keep_name) {
     RME_CHECK_MSG(base_ != MAP_FAILED, "mmap of shm segment failed");
     if (keep_name) {
       shm_name_ = path;
+      unlink_on_destroy_ = true;  // names never outlive the run by default
     } else {
       ::shm_unlink(path.c_str());  // mapping stays; the name never leaks
     }
@@ -86,6 +237,7 @@ Segment::Segment(size_t bytes, const std::string& name, bool keep_name) {
 
   auto* hdr = ::new (base_) SegmentHeader();
   hdr->capacity = capacity_;
+  hdr->creator_base = reinterpret_cast<uint64_t>(base_);
   hdr->bump.store(RoundUp(sizeof(SegmentHeader), alignof(std::max_align_t)),
                   std::memory_order_relaxed);
   RegisterSegment(base_, capacity_);
@@ -94,7 +246,24 @@ Segment::Segment(size_t bytes, const std::string& name, bool keep_name) {
 Segment::~Segment() {
   UnregisterSegment(base_);
   ::munmap(base_, capacity_);
-  if (!shm_name_.empty()) ::shm_unlink(shm_name_.c_str());
+  if (!shm_name_.empty() && unlink_on_destroy_) {
+    ::shm_unlink(shm_name_.c_str());
+  }
+}
+
+void Segment::SetRoot(const void* p) {
+  RME_CHECK_MSG(p == nullptr || Contains(p), "root must live in the segment");
+  header()->root.store(
+      p == nullptr
+          ? 0
+          : static_cast<uint64_t>(static_cast<const char*>(p) -
+                                  static_cast<const char*>(base_)),
+      std::memory_order_release);
+}
+
+void* Segment::root() const {
+  const uint64_t off = header()->root.load(std::memory_order_acquire);
+  return off == 0 ? nullptr : static_cast<char*>(base_) + off;
 }
 
 size_t Segment::bytes_used() const {

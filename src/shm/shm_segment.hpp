@@ -36,7 +36,7 @@
 namespace rme::shm {
 
 inline constexpr uint64_t kSegmentMagic = 0x524d4553484d3031ull;  // "RMESHM01"
-inline constexpr uint32_t kSegmentVersion = 2;  ///< 2: phase/incarnation words in PerPidControl
+inline constexpr uint32_t kSegmentVersion = 3;  ///< 3: creator base + root offset (named reattach)
 
 /// First bytes of every segment. All cross-process mutable fields are
 /// std::atomic so concurrent children and the parent agree on them.
@@ -46,6 +46,44 @@ struct SegmentHeader {
   uint32_t reserved = 0;
   uint64_t capacity = 0;          ///< total mapped bytes (header included)
   std::atomic<uint64_t> bump{0};  ///< next free offset from segment base
+  /// Virtual address the creator mapped the segment at. Raw pointers in
+  /// the arena (including vtables) are relative to this base, so a later
+  /// attach must land the mapping here or refuse.
+  uint64_t creator_base = 0;
+  /// Offset of the owner's root object (0 = none published). Lets an
+  /// attaching process find the service control block without depending
+  /// on allocation order beyond "creator called SetRoot once".
+  std::atomic<uint64_t> root{0};
+  /// Lifetime attach count (diagnostics: daemon restarts, tools).
+  std::atomic<uint32_t> attaches{0};
+  uint32_t reserved2 = 0;
+};
+
+/// How a *named* segment treats an existing /dev/shm entry of the same
+/// name. Anonymous segments ignore this.
+enum class NamedMode {
+  /// Create a fresh segment. A leftover entry from a SIGKILLed prior run
+  /// is probed first: a valid RME segment (or a truncated husk) is
+  /// unlinked and replaced with a note on stderr; an entry that does not
+  /// carry our magic is refused with a diagnostic rather than clobbered.
+  kCreateFresh,
+  /// Attach to an existing segment (the lockd reattach path). Validates
+  /// magic/version/size and maps at the recorded creator base; any
+  /// mismatch is a hard failure with a diagnostic.
+  kAttach,
+  /// Attach when a valid segment exists, otherwise create (replacing an
+  /// invalid or truncated leftover like kCreateFresh would).
+  kAttachOrCreate,
+};
+
+/// What a named /dev/shm entry looks like without mapping it.
+enum class ProbeResult {
+  kAbsent,   ///< no entry of that name
+  kValid,    ///< carries our magic + current version + consistent size
+  kStale,    ///< ours but not attachable: old version, truncated husk
+             ///< (creator died between shm_open and ftruncate), or a
+             ///< size that no longer matches the recorded capacity
+  kForeign,  ///< exists but does not carry our magic — never clobbered
 };
 
 /// A MAP_SHARED memory segment with a bump allocator. Created by the
@@ -58,13 +96,45 @@ class Segment {
   /// anonymous (visible only to forked children — the common case). With
   /// a name, the segment is backed by shm_open("/name") and unlinked
   /// immediately after mapping unless `keep_name` (so crashed runs never
-  /// leak /dev/shm entries).
+  /// leak /dev/shm entries). `mode` decides what happens when the name
+  /// already exists (see NamedMode); under kAttach / a successful
+  /// kAttachOrCreate attach, `bytes` is ignored in favour of the
+  /// existing segment's recorded capacity.
   explicit Segment(size_t bytes, const std::string& name = "",
-                   bool keep_name = false);
+                   bool keep_name = false,
+                   NamedMode mode = NamedMode::kCreateFresh);
   ~Segment();
 
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;
+
+  /// Inspects a named entry without constructing a Segment: the decision
+  /// procedure behind kCreateFresh's stale handling, usable directly by
+  /// callers (and tests) that must not abort on a foreign entry. Fills
+  /// `why` (if non-null) with a one-line reason for kForeign.
+  static ProbeResult ProbeNamed(const std::string& name,
+                                std::string* why = nullptr);
+
+  /// Removes a named entry (true if one was unlinked). For cleanup of
+  /// persisted segments and for tests' leak audits.
+  static bool UnlinkNamed(const std::string& name);
+
+  /// True iff this handle attached to a pre-existing segment (kAttach or
+  /// kAttachOrCreate finding a valid entry) rather than creating one.
+  /// An attaching owner must recover, not initialize.
+  bool attached() const { return attached_; }
+
+  /// Whether the destructor unlinks a kept name. Defaults: true for
+  /// created segments with keep_name (names never outlive the run unless
+  /// asked), false for attached ones (an attacher does not own the
+  /// name's lifetime). Persistence across runs = keep_name +
+  /// set_unlink_on_destroy(false).
+  void set_unlink_on_destroy(bool v) { unlink_on_destroy_ = v; }
+
+  /// Publishes/reads the owner's root object (service control block).
+  /// Stored as an offset so it survives reattach at any base.
+  void SetRoot(const void* p);
+  void* root() const;
 
   void* base() const { return base_; }
   size_t capacity() const { return capacity_; }
@@ -106,6 +176,8 @@ class Segment {
   void* base_ = nullptr;
   size_t capacity_ = 0;
   std::string shm_name_;  ///< non-empty iff the name was kept
+  bool attached_ = false;
+  bool unlink_on_destroy_ = false;
 };
 
 /// True iff `p` lies inside any live Segment of this process tree. Used

@@ -1,0 +1,137 @@
+// Pins the examples/kv_store ApplyPut crash window: the cell version must
+// be a pure function of the writing transaction (txn, pid), never a
+// read-modify-write of the cell. A crash between the version commit and
+// the applied marker replays the whole apply; with the fixed scheme the
+// replay converges to the same cell state, while a counter-bump version
+// counts the same put twice — observable corruption of the version
+// lineage that an auditor keyed on versions would misread as two writes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "rmr/memory_model.hpp"
+
+namespace rme {
+namespace {
+
+struct Cell {
+  rmr::Atomic<uint64_t> value{0};
+  rmr::Atomic<uint64_t> version{0};
+};
+
+struct Redo {
+  rmr::Atomic<uint64_t> txn{0};
+  rmr::Atomic<uint64_t> value{0};
+  rmr::Atomic<uint64_t> applied{0};
+};
+
+// Mirrors examples/kv_store.cpp ApplyPut, with named probe sites so a
+// SiteCrash can land in the exact window between the version commit and
+// the applied marker ("kv.version.store", after_op=true: the version has
+// hit simulated NVRAM, the marker has not).
+void ApplyPutFixed(Cell& cell, Redo& r, int pid) {
+  const uint64_t txn = r.txn.Load("kv.txn.load");
+  if (r.applied.Load("kv.applied.load") == txn) return;
+  cell.value.Store(r.value.Load("kv.value.load"), "kv.value.store");
+  cell.version.Store((txn << 8) | static_cast<uint64_t>(pid),
+                     "kv.version.store");
+  r.applied.Store(txn, "kv.applied.store");
+}
+
+// The pre-fix variant: version as a counter bump of the cell. Kept here
+// (and only here) to demonstrate the bug the fix removed.
+void ApplyPutCounterBump(Cell& cell, Redo& r) {
+  const uint64_t txn = r.txn.Load("kv.txn.load");
+  if (r.applied.Load("kv.applied.load") == txn) return;
+  cell.value.Store(r.value.Load("kv.value.load"), "kv.value.store");
+  cell.version.Store(cell.version.Load("kv.version.load") + 1,
+                     "kv.version.store");
+  r.applied.Store(txn, "kv.applied.store");
+}
+
+TEST(KvCrashWindow, FixedVersionReplayIsIdempotent) {
+  Cell cell;
+  Redo r;
+  SiteCrash crash(/*pid=*/0, "kv.version.store", /*after_op=*/true);
+  ProcessBinding binding(0, &crash);
+
+  r.value.Store(99, "kv.prep");
+  r.txn.Store(1, "kv.prep");
+
+  bool crashed = false;
+  try {
+    ApplyPutFixed(cell, r, 0);
+  } catch (const ProcessCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  // The crash site is after_op: value and version landed, marker lost.
+  EXPECT_EQ(cell.value.RawLoad(), 99u);
+  EXPECT_EQ(cell.version.RawLoad(), (uint64_t{1} << 8) | 0u);
+  EXPECT_NE(r.applied.RawLoad(), 1u);
+
+  // Replay (Recover re-runs the apply) plus a redundant re-entry: the
+  // cell must be exactly what a crash-free apply produces, no matter how
+  // many times the window is replayed.
+  ApplyPutFixed(cell, r, 0);
+  ApplyPutFixed(cell, r, 0);
+  EXPECT_EQ(cell.value.RawLoad(), 99u);
+  EXPECT_EQ(cell.version.RawLoad(), (uint64_t{1} << 8) | 0u);
+  EXPECT_EQ(r.applied.RawLoad(), 1u);
+}
+
+TEST(KvCrashWindow, CounterBumpVersionDoubleCountsAcrossTheWindow) {
+  Cell cell;
+  Redo r;
+  SiteCrash crash(/*pid=*/0, "kv.version.store", /*after_op=*/true);
+  ProcessBinding binding(0, &crash);
+
+  r.value.Store(55, "kv.prep");
+  r.txn.Store(1, "kv.prep");
+
+  bool crashed = false;
+  try {
+    ApplyPutCounterBump(cell, r);
+  } catch (const ProcessCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  ApplyPutCounterBump(cell, r);  // replay
+
+  // One put, version bumped twice: the exact non-idempotence the fixed
+  // scheme removes. A crash-free apply would leave version == 1.
+  EXPECT_EQ(cell.value.RawLoad(), 55u);
+  EXPECT_EQ(cell.version.RawLoad(), 2u);
+  EXPECT_EQ(r.applied.RawLoad(), 1u);
+}
+
+TEST(KvCrashWindow, CrashBeforeVersionAlsoConverges) {
+  Cell cell;
+  Redo r;
+  SiteCrash crash(/*pid=*/0, "kv.value.store", /*after_op=*/true);
+  ProcessBinding binding(0, &crash);
+
+  r.value.Store(77, "kv.prep");
+  r.txn.Store(3, "kv.prep");
+
+  bool crashed = false;
+  try {
+    ApplyPutFixed(cell, r, 2);
+  } catch (const ProcessCrash&) {
+    crashed = true;
+  }
+  ASSERT_TRUE(crashed);
+  // Value landed, version did not: the replay must complete both.
+  EXPECT_EQ(cell.value.RawLoad(), 77u);
+  EXPECT_EQ(cell.version.RawLoad(), 0u);
+
+  ApplyPutFixed(cell, r, 2);
+  EXPECT_EQ(cell.value.RawLoad(), 77u);
+  EXPECT_EQ(cell.version.RawLoad(), (uint64_t{3} << 8) | 2u);
+  EXPECT_EQ(r.applied.RawLoad(), 3u);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,287 @@
+// Real-process crash mode for the rme-lockd named-lock service: forks a
+// daemon plus clients against a named /dev/shm segment and SIGKILLs both
+// sides, so the binary must stay single-threaded in the parent (gtest
+// runs tests sequentially on the main thread; nothing here spawns
+// threads). Covers the ISSUE-8 acceptance matrix: client kill storms
+// with lease churn, daemon SIGKILL/restart cycles against one surviving
+// segment, the targeted mid-handshake / mid-insert daemon kill windows,
+// named-segment stale/foreign handling, and the pid range-check
+// diagnostics on the attach paths.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "crash/crash.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/lockd.hpp"
+#include "runtime/lockd_driver.hpp"
+#include "shm/shm_segment.hpp"
+
+namespace rme {
+namespace {
+
+void ExpectClean(const lockd::LockdDriverResult& r) {
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  EXPECT_FALSE(r.log_overflow);
+  EXPECT_EQ(r.hangs, 0u);
+  EXPECT_EQ(r.hung_abandoned, 0u);
+  EXPECT_FALSE(r.watchdog_fired);
+  EXPECT_EQ(r.child_errors, 0u);
+  EXPECT_TRUE(r.all_clients_finished);
+  EXPECT_FALSE(r.segment_leaked);
+  EXPECT_TRUE(r.Clean());
+}
+
+// Client SIGKILL storm with more clients than slots: every passage runs
+// under a lease that churns, so a kill can land mid-lease, mid-insert,
+// or mid-CS, and the respawned client must win a fresh slot and resume
+// its quota against the same directory.
+TEST(LockdWorkload, ClientKillStormWithLeaseChurn) {
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = "rme-lockd-test-storm";
+  cfg.num_clients = 6;
+  cfg.num_slots = 4;
+  cfg.num_names = 10;
+  cfg.acquires_per_client = 250;
+  cfg.lease_passages = 3;
+  cfg.seed = 7;
+  cfg.client_kills = 60;
+  cfg.kill_interval_ms = 0.05;
+  const lockd::LockdDriverResult r = lockd::RunLockdWorkload(cfg);
+  ExpectClean(r);
+  EXPECT_EQ(r.completed, 6u * 250u);
+  EXPECT_GE(r.client_kill_deaths, 50u);
+  EXPECT_GT(r.recovered_slots, 0u);
+}
+
+// The headline acceptance numbers: 100+ client SIGKILLs and 10+ daemon
+// SIGKILL/restart cycles against a SINGLE named segment, with every
+// directory lock recovered and the full workload completing. Daemon
+// kills are rate-limited by the 1 ms respawn backoff (a dead daemon
+// cannot be re-killed) and by how often the parent gets scheduled, so
+// one run's delivery rate is load-dependent; like the CI smoke, the
+// test accumulates across driver cycles that all reattach the same
+// surviving segment until the floors are met — which also exercises the
+// daemon-death/driver-death reattach path on every extra cycle.
+TEST(LockdWorkload, DaemonKillRestartCycles) {
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = "rme-lockd-test-daemon";
+  cfg.num_clients = 8;
+  cfg.num_slots = 8;
+  cfg.num_names = 12;
+  cfg.acquires_per_client = 1000;
+  cfg.client_kills = 130;
+  cfg.daemon_kills = 14;
+  cfg.kill_interval_ms = 0.05;
+  cfg.persist_segment = true;
+  uint64_t client_deaths = 0, daemon_deaths = 0, respawns = 0, recovered = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    cfg.attach_existing = cycle > 0;
+    cfg.seed = 11 + static_cast<uint64_t>(cycle);
+    const lockd::LockdDriverResult r = lockd::RunLockdWorkload(cfg);
+    ExpectClean(r);
+    EXPECT_EQ(r.completed, 8u * 1000u);
+    client_deaths += r.client_kill_deaths;
+    daemon_deaths += r.daemon_kill_deaths;
+    respawns += r.daemon_respawns;
+    recovered += r.recovered_slots;
+    if (client_deaths >= 100 && daemon_deaths >= 10 && respawns >= 10) break;
+  }
+  EXPECT_GE(client_deaths, 100u);
+  EXPECT_GE(daemon_deaths, 10u);
+  EXPECT_GE(respawns, 10u);
+  EXPECT_GT(recovered, 0u);
+  // The leak audit is skipped while persisting; retire the segment
+  // explicitly and make sure the name really disappears.
+  EXPECT_EQ(shm::Segment::ProbeNamed(cfg.shm_name), shm::ProbeResult::kValid);
+  EXPECT_TRUE(shm::Segment::UnlinkNamed(cfg.shm_name));
+  EXPECT_EQ(shm::Segment::ProbeNamed(cfg.shm_name), shm::ProbeResult::kAbsent);
+}
+
+// Daemon SIGKILLed the instant a client corpse sits mid-handshake
+// (Handshaking slot, dead claimant): the *fresh* daemon's takeover sweep
+// must absorb the husk. The site kill reliably manufactures the corpse
+// (first claim of slot 2 dies inside the ld.lease.brk window, four
+// times); the widened sweep keeps the husk observable.
+TEST(LockdWorkload, DaemonKilledOverHandshakeHusk) {
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = "rme-lockd-test-hshusk";
+  cfg.num_clients = 6;
+  cfg.num_slots = 6;
+  cfg.num_names = 8;
+  cfg.acquires_per_client = 400;
+  cfg.seed = 42;
+  cfg.client_kills = 20;
+  // No timed daemon kills here: a daemon knocked out by the async
+  // budget is down exactly when a husk window opens, and the targeted
+  // budget (rightly) refuses to spend against a dead daemon.
+  cfg.daemon_kills_in_handshake = 2;
+  cfg.kill_interval_ms = 0.1;
+  cfg.daemon_sweep_us = 2000;
+  cfg.site_kill_site = "ld.lease.brk";
+  cfg.site_kill_slot = 2;
+  cfg.site_kill_nth = 1;
+  cfg.site_kill_count = 4;
+  // The budget is 2 but the second window needs the first takeover to
+  // complete first (the gate that keeps the budget off dead daemons) —
+  // one delivery is a pass. The window race is load-dependent (the
+  // parent must get scheduled between corpse and sweep), so a miss is
+  // retried under a fresh seed; zero across three attempts means the
+  // window machinery is broken.
+  lockd::LockdDriverResult r{};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    cfg.seed = 42 + static_cast<uint64_t>(attempt);
+    r = lockd::RunLockdWorkload(cfg);
+    ExpectClean(r);
+    EXPECT_GT(r.child_site_kills, 0u);
+    if (r.daemon_kills_handshake >= 1) break;
+  }
+  EXPECT_GE(r.daemon_kills_handshake, 1u);
+}
+
+// Daemon SIGKILLed while a directory entry sits mid-insert (Inserting,
+// dead inserter): either the fresh daemon's sweep or a same-name client
+// lookup must resolve the entry — roll back to Tombstone or complete —
+// without ever truncating a probe chain. Many names keep fresh inserts
+// flowing so slot 3 reliably dies inside the ld.insert.brk window.
+TEST(LockdWorkload, DaemonKilledOverInsertHusk) {
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = "rme-lockd-test-inshusk";
+  cfg.num_clients = 6;
+  cfg.num_slots = 6;
+  cfg.num_names = 48;
+  cfg.acquires_per_client = 400;
+  cfg.seed = 42;
+  cfg.client_kills = 20;
+  cfg.daemon_kills_in_insert = 2;
+  cfg.kill_interval_ms = 0.1;
+  cfg.daemon_sweep_us = 2000;
+  cfg.site_kill_site = "ld.insert.brk";
+  cfg.site_kill_slot = 3;
+  cfg.site_kill_nth = 1;
+  cfg.site_kill_count = 4;
+  // Same load-dependent window race as the handshake matrix: retry a
+  // miss under a fresh seed, fail only if no attempt delivers.
+  lockd::LockdDriverResult r{};
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    cfg.seed = 42 + static_cast<uint64_t>(attempt);
+    r = lockd::RunLockdWorkload(cfg);
+    ExpectClean(r);
+    EXPECT_GT(r.child_site_kills, 0u);
+    if (r.daemon_kills_insert >= 1) break;
+  }
+  EXPECT_GE(r.daemon_kills_insert, 1u);
+}
+
+// A second driver run attaching to the segment the first run persisted:
+// the daemon-death/driver-death reattach contract at workload scale.
+TEST(LockdWorkload, ReattachSurvivingSegmentAcrossRuns) {
+  lockd::LockdDriverConfig cfg;
+  cfg.shm_name = "rme-lockd-test-reattach";
+  cfg.num_clients = 4;
+  cfg.num_slots = 4;
+  cfg.num_names = 6;
+  cfg.acquires_per_client = 150;
+  cfg.seed = 3;
+  cfg.client_kills = 10;
+  cfg.kill_interval_ms = 0.1;
+  cfg.persist_segment = true;
+  const lockd::LockdDriverResult first = lockd::RunLockdWorkload(cfg);
+  EXPECT_EQ(first.me_violations, 0u);
+  EXPECT_EQ(first.bcsr_violations, 0u);
+  EXPECT_TRUE(first.all_clients_finished);
+  ASSERT_EQ(shm::Segment::ProbeNamed(cfg.shm_name),
+            shm::ProbeResult::kValid);
+
+  cfg.attach_existing = true;
+  cfg.persist_segment = false;
+  cfg.seed = 4;
+  const lockd::LockdDriverResult second = lockd::RunLockdWorkload(cfg);
+  ExpectClean(second);
+  EXPECT_EQ(second.completed, 4u * 150u);
+  EXPECT_EQ(shm::Segment::ProbeNamed(cfg.shm_name),
+            shm::ProbeResult::kAbsent);
+}
+
+// Named-segment stale handling at the Segment layer: a kept name
+// survives its creating process and reattaches with the creator's data;
+// unlinking retires it.
+TEST(LockdSegment, KeptNameReattachesWithData) {
+  const std::string name = "rme-lockd-test-keptseg";
+  shm::Segment::UnlinkNamed(name);  // stale entry from a crashed run
+  {
+    shm::Segment seg(1u << 20, name, /*keep_name=*/true);
+    seg.set_unlink_on_destroy(false);
+    auto* v = seg.New<uint64_t>(0xfeedfacecafebeefull);
+    seg.SetRoot(v);
+  }
+  ASSERT_EQ(shm::Segment::ProbeNamed(name), shm::ProbeResult::kValid);
+  {
+    shm::Segment seg(1u << 20, name, /*keep_name=*/true,
+                     shm::NamedMode::kAttach);
+    EXPECT_TRUE(seg.attached());
+    const auto* v = static_cast<const uint64_t*>(seg.root());
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, 0xfeedfacecafebeefull);
+    seg.set_unlink_on_destroy(false);
+  }
+  EXPECT_TRUE(shm::Segment::UnlinkNamed(name));
+  EXPECT_EQ(shm::Segment::ProbeNamed(name), shm::ProbeResult::kAbsent);
+}
+
+// A truncated husk (creator died between shm_open and ftruncate) probes
+// stale and is silently replaced by a fresh create; an entry that does
+// not carry our magic probes foreign and must never be clobbered.
+TEST(LockdSegment, StaleHuskReplacedForeignRefused) {
+  const std::string husk = "rme-lockd-test-husk";
+  ::shm_unlink(("/" + husk).c_str());
+  int fd = ::shm_open(("/" + husk).c_str(), O_CREAT | O_RDWR | O_EXCL, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);  // zero-length: the mid-create corpse shape
+  std::string why;
+  EXPECT_EQ(shm::Segment::ProbeNamed(husk, &why), shm::ProbeResult::kStale);
+  {
+    shm::Segment seg(1u << 16, husk);  // kCreateFresh replaces the husk
+    EXPECT_EQ(seg.header()->magic, shm::kSegmentMagic);
+  }
+  EXPECT_EQ(shm::Segment::ProbeNamed(husk), shm::ProbeResult::kAbsent);
+
+  const std::string foreign = "rme-lockd-test-foreign";
+  ::shm_unlink(("/" + foreign).c_str());
+  fd = ::shm_open(("/" + foreign).c_str(), O_CREAT | O_RDWR | O_EXCL, 0600);
+  ASSERT_GE(fd, 0);
+  const char junk[] = "not an rme segment, hands off";
+  ASSERT_EQ(::ftruncate(fd, 4096), 0);
+  ASSERT_EQ(::pwrite(fd, junk, sizeof(junk), 0),
+            static_cast<ssize_t>(sizeof(junk)));
+  ::close(fd);
+  why.clear();
+  EXPECT_EQ(shm::Segment::ProbeNamed(foreign, &why),
+            shm::ProbeResult::kForeign);
+  EXPECT_FALSE(why.empty());
+  ASSERT_EQ(::shm_unlink(("/" + foreign).c_str()), 0);
+}
+
+// The attach-path range checks added with the service: an out-of-range
+// pid must die with a diagnostic naming the pid, not index out of
+// bounds. (Death tests fork; the parent stays single-threaded.)
+TEST(LockdPidRangeChecks, OutOfRangePidDiesWithDiagnostic) {
+  EXPECT_DEATH(BoundContext(kMaxProcs), "out-of-range pid");
+  EXPECT_DEATH(BoundContext(-1), "out-of-range pid");
+  RandomCrash crash(/*seed=*/1, /*per_op_probability=*/1.0);
+  EXPECT_DEATH(crash.ShouldCrash(kMaxProcs, "x", /*after_op=*/true),
+               "out-of-range pid");
+  EXPECT_DEATH(ProcessBinding binding(kMaxProcs, nullptr),
+               "out-of-range pid");
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,270 @@
+// rme-lockd — the standalone daemon + operator tool for the persistent
+// named-lock service (src/runtime/lockd).
+//
+//   rme-lockd serve  --shm_name=rme-lockd [--slots=8 --dir=64 --lock=ba]
+//   rme-lockd status --shm_name=rme-lockd
+//   rme-lockd stop   --shm_name=rme-lockd
+//   rme-lockd unlink --shm_name=rme-lockd
+//
+// `serve` attaches to a surviving segment (or creates a fresh one) and
+// runs the sweep/recovery loop in the foreground until `stop` flips the
+// control flag. The segment persists across serve restarts: a SIGKILLed
+// daemon's successor revalidates the header and sweeps every husk the
+// crash left. One caveat is inherent to the address discipline: lock
+// objects carry vtable pointers into the creating executable's text, so
+// a *reattaching* serve can drive recovery only when its image landed at
+// the creator's slide (fork children always qualify; a freshly exec'd
+// PIE binary under ASLR usually does not — serve refuses with a
+// diagnostic instead of chasing wild vtables).
+//
+// `status` and `stop` never touch lock pointers at all: they map the
+// segment at an arbitrary address and walk the control block purely via
+// the stored offsets, so they work from any process regardless of slide.
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "runtime/lockd.hpp"
+#include "shm/shm_segment.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using rme::lockd::ClientSlot;
+using rme::lockd::DirEntry;
+using rme::lockd::ServiceControl;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rme-lockd <serve|status|stop|unlink> --shm_name=NAME\n"
+      "  serve   --shm_name=rme-lockd [--slots=8 --dir=64 --lock=ba\n"
+      "          --log_cap=65536 --bytes=67108864 --sweep_us=300]\n"
+      "          run the daemon in the foreground (attach or create)\n"
+      "  status  print segment header, daemon state, slots, directory\n"
+      "  stop    ask the serving daemon to drain and exit\n"
+      "  unlink  remove the /dev/shm entry (stopped services only)\n");
+  return 2;
+}
+
+/// A raw, slide-independent mapping for status/stop: the segment is
+/// mapped wherever the kernel likes and only offset-derived pointers are
+/// dereferenced (ServiceControl stores every array as an offset for
+/// exactly this consumer).
+struct RawMap {
+  void* base = nullptr;
+  size_t len = 0;
+  ~RawMap() {
+    if (base != nullptr) ::munmap(base, len);
+  }
+};
+
+bool MapRaw(const std::string& shm_name, bool writable, RawMap* out) {
+  const std::string path = "/" + shm_name;
+  const int fd = ::shm_open(path.c_str(), writable ? O_RDWR : O_RDONLY, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "rme-lockd: no /dev/shm entry '%s'\n", path.c_str());
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    std::fprintf(stderr, "rme-lockd: cannot stat '%s'\n", path.c_str());
+    ::close(fd);
+    return false;
+  }
+  out->len = static_cast<size_t>(st.st_size);
+  out->base = ::mmap(nullptr, out->len,
+                     writable ? PROT_READ | PROT_WRITE : PROT_READ,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (out->base == MAP_FAILED) {
+    out->base = nullptr;
+    std::fprintf(stderr, "rme-lockd: mmap of '%s' failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Validates the segment + service headers of a raw mapping and returns
+/// the control block, or null with a diagnostic.
+ServiceControl* CtlOfRaw(const RawMap& map) {
+  if (map.len < sizeof(rme::shm::SegmentHeader)) return nullptr;
+  auto* hdr = static_cast<rme::shm::SegmentHeader*>(map.base);
+  if (hdr->magic != rme::shm::kSegmentMagic ||
+      hdr->version != rme::shm::kSegmentVersion) {
+    std::fprintf(stderr, "rme-lockd: not an RME segment (magic/version)\n");
+    return nullptr;
+  }
+  const uint64_t root = hdr->root.load(std::memory_order_acquire);
+  if (root == 0 || root + sizeof(ServiceControl) > map.len) {
+    std::fprintf(stderr, "rme-lockd: segment has no published root\n");
+    return nullptr;
+  }
+  auto* ctl = reinterpret_cast<ServiceControl*>(
+      static_cast<char*>(map.base) + root);
+  if (ctl->magic != rme::lockd::kServiceMagic ||
+      ctl->version != rme::lockd::kServiceVersion) {
+    std::fprintf(stderr, "rme-lockd: root is not a lockd control block\n");
+    return nullptr;
+  }
+  return ctl;
+}
+
+int CmdServe(const rme::Cli& cli) {
+  rme::lockd::ServiceConfig scfg;
+  scfg.shm_name = cli.GetString("shm_name", "rme-lockd");
+  scfg.lock_kind = cli.GetString("lock", "ba");
+  scfg.num_slots = static_cast<int>(cli.GetInt("slots", 8));
+  scfg.dir_capacity = static_cast<uint32_t>(cli.GetInt("dir", 64));
+  scfg.log_cap = static_cast<uint64_t>(cli.GetInt("log_cap", 1 << 16));
+  scfg.segment_bytes = static_cast<size_t>(cli.GetInt("bytes", 64 << 20));
+
+  auto svc = rme::lockd::Service::AttachOrCreate(scfg);
+  svc->set_persist(true);  // the segment is the service; serve is transient
+  std::fprintf(stderr, "rme-lockd: %s '%s' (slots=%u dir=%u lock=%s)\n",
+               svc->attached() ? "attached to" : "created",
+               svc->shm_name().c_str(), svc->ctl()->num_slots,
+               svc->ctl()->dir_capacity, svc->ctl()->lock_kind);
+  if (!svc->locks_usable()) {
+    std::fprintf(stderr,
+                 "rme-lockd: segment was created by a different image/slide; "
+                 "this process cannot drive recovery (vtable pointers would "
+                 "be wild). Use the creating binary, or unlink and start "
+                 "fresh.\n");
+    return 3;
+  }
+  rme::lockd::DaemonConfig dc;
+  dc.sweep_interval_us = static_cast<uint32_t>(cli.GetInt("sweep_us", 300));
+  const int rc = rme::lockd::RunDaemon(*svc, dc);
+  if (rc == 1) {
+    std::fprintf(stderr, "rme-lockd: a live daemon already serves '%s'\n",
+                 svc->shm_name().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "rme-lockd: clean stop\n");
+  return 0;
+}
+
+int CmdStatus(const std::string& shm_name) {
+  RawMap map;
+  if (!MapRaw(shm_name, /*writable=*/false, &map)) return 1;
+  const ServiceControl* ctl = CtlOfRaw(map);
+  if (ctl == nullptr) return 1;
+
+  const auto* hdr = static_cast<const rme::shm::SegmentHeader*>(map.base);
+  std::printf("segment '/%s': %zu bytes, %llu used, attaches=%u\n",
+              shm_name.c_str(), map.len,
+              static_cast<unsigned long long>(
+                  hdr->bump.load(std::memory_order_relaxed)),
+              hdr->attaches.load(std::memory_order_relaxed));
+  const uint64_t dw = ctl->daemon_word.load(std::memory_order_relaxed);
+  const uint32_t dpid = rme::lockd::WordPid(dw);
+  std::printf(
+      "daemon: state=%u pid=%u (%s) inc=%llu takeovers=%llu heartbeat=%llu "
+      "ready=%u stop=%u\n",
+      rme::lockd::WordState(dw), dpid,
+      dpid != 0 && rme::lockd::ProcessAlive(dpid) ? "alive" : "dead",
+      static_cast<unsigned long long>(
+          ctl->daemon_incarnation.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          ctl->daemon_takeovers.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          ctl->daemon_heartbeat.load(std::memory_order_relaxed)),
+      ctl->ready.load(std::memory_order_relaxed),
+      ctl->stop.load(std::memory_order_relaxed));
+  std::printf("service: lock=%s recovered_slots=%llu assists=%llu "
+              "rollbacks=%llu leases=%llu overlaps=%llu\n",
+              ctl->lock_kind,
+              static_cast<unsigned long long>(
+                  ctl->recovered_slots.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  ctl->assisted_inserts.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  ctl->rolled_back_inserts.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  ctl->lease_grants.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  ctl->cs_overlap_events.load(std::memory_order_relaxed)));
+
+  const ClientSlot* slots = rme::lockd::Slots(ctl);
+  for (uint32_t s = 0; s < ctl->num_slots; ++s) {
+    const uint64_t w = slots[s].word.load(std::memory_order_relaxed);
+    if (rme::lockd::WordState(w) == rme::lockd::kSlotFree &&
+        slots[s].acquires.load(std::memory_order_relaxed) == 0) {
+      continue;  // never used; keep the listing short
+    }
+    const uint32_t pid = rme::lockd::WordPid(w);
+    std::printf("  slot %2u: %-11s pid=%-7u %s epoch=%llu inc=%llu "
+                "acquires=%llu active_entry=%u\n",
+                s, rme::lockd::SlotStateName(rme::lockd::WordState(w)), pid,
+                pid != 0 && rme::lockd::ProcessAlive(pid) ? "alive" : "dead ",
+                static_cast<unsigned long long>(rme::lockd::WordEpoch(w)),
+                static_cast<unsigned long long>(
+                    slots[s].incarnation.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    slots[s].acquires.load(std::memory_order_relaxed)),
+                slots[s].active_entry.load(std::memory_order_relaxed));
+  }
+
+  const DirEntry* dir = rme::lockd::Dir(ctl);
+  uint32_t ready = 0, tomb = 0, inserting = 0;
+  for (uint32_t i = 0; i < ctl->dir_capacity; ++i) {
+    const uint32_t st =
+        rme::lockd::WordState(dir[i].word.load(std::memory_order_relaxed));
+    if (st == rme::lockd::kEntryReady) {
+      ++ready;
+      std::printf("  lock '%s': acquisitions=%llu overlaps=%u owner=%u\n",
+                  dir[i].name,
+                  static_cast<unsigned long long>(
+                      dir[i].acquisitions.load(std::memory_order_relaxed)),
+                  dir[i].cs_overlaps.load(std::memory_order_relaxed),
+                  dir[i].owner.load(std::memory_order_relaxed));
+    } else if (st == rme::lockd::kEntryTombstone) {
+      ++tomb;
+    } else if (st == rme::lockd::kEntryInserting) {
+      ++inserting;
+    }
+  }
+  std::printf("directory: %u/%u ready, %u tombstones, %u inserting\n", ready,
+              ctl->dir_capacity, tomb, inserting);
+  return 0;
+}
+
+int CmdStop(const std::string& shm_name) {
+  RawMap map;
+  if (!MapRaw(shm_name, /*writable=*/true, &map)) return 1;
+  ServiceControl* ctl = CtlOfRaw(map);
+  if (ctl == nullptr) return 1;
+  ctl->stop.store(1, std::memory_order_release);
+  std::printf("rme-lockd: stop requested for '/%s'\n", shm_name.c_str());
+  return 0;
+}
+
+int CmdUnlink(const std::string& shm_name) {
+  if (rme::shm::Segment::UnlinkNamed(shm_name)) {
+    std::printf("rme-lockd: unlinked '/%s'\n", shm_name.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "rme-lockd: nothing to unlink at '/%s'\n",
+               shm_name.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  rme::Cli cli(argc - 1, argv + 1);
+  const std::string shm_name = cli.GetString("shm_name", "rme-lockd");
+  if (cmd == "serve") return CmdServe(cli);
+  if (cmd == "status") return CmdStatus(shm_name);
+  if (cmd == "stop") return CmdStop(shm_name);
+  if (cmd == "unlink") return CmdUnlink(shm_name);
+  return Usage();
+}

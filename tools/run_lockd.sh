@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the rme-lockd kill matrix (bench_lockd) from an existing build
+# tree with a bounded wall clock, so a wedged daemon/driver can never
+# hang CI. The bench's exit status is propagated verbatim (nonzero on
+# any ME/BCSR violation, phantom crash note, hang, watchdog fire,
+# undelivered kill source, or leaked /dev/shm entry); a timeout maps to
+# the conventional 124/137 with a diagnostic on stderr.
+#
+# Usage: tools/run_lockd.sh [build-dir] [extra bench flags...]
+#   RME_LOCKD_TIMEOUT=300  wall-clock cap in seconds (default 300)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BIN="$BUILD_DIR/bench/bench_lockd"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake --build $BUILD_DIR --target bench_lockd)" >&2
+  exit 2
+fi
+
+TIMEOUT_S="${RME_LOCKD_TIMEOUT:-300}"
+
+# Not `exec`: capture the status so timeouts and gate failures are
+# reported distinctly instead of silently becoming the script's exit.
+status=0
+timeout --kill-after=10 "$TIMEOUT_S" "$BIN" "$@" || status=$?
+
+case "$status" in
+  0)
+    ;;
+  124|137)
+    echo "error: bench_lockd exceeded ${TIMEOUT_S}s wall clock" \
+         "(status $status) — liveness watchdog failed to terminate the run" >&2
+    ;;
+  *)
+    echo "error: bench_lockd failed with status $status" \
+         "(ME/BCSR violation, hang, undelivered kills, or /dev/shm leak)" >&2
+    ;;
+esac
+exit "$status"
