@@ -1,17 +1,112 @@
 // Shared helpers for the bench binaries: standard header, scenario
-// running, and row formatting.
+// running, row formatting, and the KV workload generators (key
+// popularity + op mix) used by both bench_kv_service and
+// examples/kv_store — one implementation, seed-for-seed identical
+// draws everywhere (pinned by tests/kv_workload_test).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "core/lock_registry.hpp"
 #include "runtime/experiment.hpp"
+#include "runtime/kv_service.hpp"
+#include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace rme::bench {
+
+/// Zipf(theta) key popularity over [0, n) by the YCSB rejection-free
+/// inversion (Gray et al.'s zeta/eta closed form): rank r is drawn with
+/// probability proportional to 1/(r+1)^theta, so rank 0 is the hottest
+/// key. theta = 0 degenerates to uniform (exactly — the eta formula
+/// collapses, but we special-case it to skip the pows); YCSB's default
+/// skew is theta = 0.99. Immutable after construction: Next() draws all
+/// randomness from the caller's Prng, so one instance can be shared by
+/// value across forked children without any coordination.
+class ZipfianKeys {
+ public:
+  ZipfianKeys(uint64_t n, double theta) : n_(n), theta_(theta) {
+    RME_CHECK(n > 0);
+    RME_CHECK(theta >= 0.0 && theta < 1.0);
+    if (theta_ == 0.0) return;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    }
+    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  uint64_t Next(Prng& rng) const {
+    if (theta_ == 0.0) return rng.NextBounded(n_);
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r < n_ ? r : n_ - 1;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// Operation mix for the KV workloads. Fractions are cumulative-checked
+/// at draw time: read_frac + put_frac <= 1, remainder = transactions.
+struct KvOpMix {
+  double read_frac = 0.80;
+  double put_frac = 0.15;
+  int txn_keys = 3;  ///< distinct keys per transaction, 2..kKvMaxTxnKeys
+};
+
+/// One draw of the shared workload: kind by mix fraction, keys by the
+/// Zipfian popularity (transactions redraw until distinct).
+inline KvOp DrawKvOp(Prng& rng, const ZipfianKeys& keys, const KvOpMix& mix) {
+  KvOp op;
+  const double u = rng.NextDouble();
+  if (u < mix.read_frac) {
+    op.kind = KvOp::kRead;
+    op.keys[0] = keys.Next(rng);
+    return op;
+  }
+  if (u < mix.read_frac + mix.put_frac) {
+    op.kind = KvOp::kPut;
+    op.keys[0] = keys.Next(rng);
+    return op;
+  }
+  op.kind = KvOp::kTxn;
+  const int want = std::min(std::max(mix.txn_keys, 2), kKvMaxTxnKeys);
+  RME_CHECK(keys.n() >= static_cast<uint64_t>(want));
+  op.nkeys = 0;
+  while (op.nkeys < want) {
+    const uint64_t k = keys.Next(rng);
+    bool dup = false;
+    for (int i = 0; i < op.nkeys; ++i) dup = dup || op.keys[i] == k;
+    if (!dup) op.keys[op.nkeys++] = k;
+  }
+  return op;
+}
+
+/// The KvDrawFn the service wants, closing over copies of the generator
+/// state (fork-safe: nothing shared, nothing mutable).
+inline KvDrawFn MakeKvDraw(const ZipfianKeys& keys, const KvOpMix& mix) {
+  return [keys, mix](int /*pid*/, Prng& rng) {
+    return DrawKvOp(rng, keys, mix);
+  };
+}
 
 inline void PrintHeader(const std::string& title, const std::string& claim) {
   std::printf("==================================================================\n");

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/ba_lock.hpp"
 #include "crash/crash.hpp"
 #include "rmr/counters.hpp"
@@ -63,6 +64,11 @@ void ApplyPut(int pid) {
 int main() {
   auto lock = rme::BaLock::WithDefaultBase(kProcs);
   rme::RandomCrash crash(/*seed=*/5, /*per_op_probability=*/0.0008);
+  // Zipf-popular keys from the shared generator (bench/bench_common.hpp)
+  // — the same draws bench_kv_service makes, so hot-key contention here
+  // mirrors the service's skew. Immutable, so one instance serves every
+  // thread; each thread's Prng supplies the randomness.
+  const rme::bench::ZipfianKeys keys(kKeys, /*theta=*/0.99);
 
   // Acknowledged writes, for the post-run audit (plain host memory —
   // this is the "client side", not simulated state).
@@ -80,7 +86,7 @@ int main() {
       while (done < kOpsEach) {
         try {
           if (!prepared) {
-            key = rng.NextBounded(kKeys);
+            key = keys.Next(rng);
             value = rng.Next() | 1;  // non-zero
             Redo& r = g_redo[pid];
             r.key.Store(key);

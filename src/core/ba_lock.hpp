@@ -41,6 +41,9 @@ class BaLock final : public RecoverableLock {
   std::string name() const override;
 
   bool IsStronglyRecoverable() const override { return true; }
+  /// Batch-hold keeps the adaptive path resolution (the part whose cost
+  /// scales with recent failures) to once per batch.
+  bool SupportsEnterMany() const override { return true; }
   int LastPathDepth(int pid) const override { return LastLevelOf(pid); }
   bool IsSensitiveSite(const std::string& site, bool after_op) const override;
   void OnProcessDone(int pid) override;

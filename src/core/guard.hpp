@@ -44,4 +44,52 @@ class ScopedPassage {
   int exceptions_on_entry_;
 };
 
+/// ScopedPassage for an EnterMany batch: Recover + EnterMany(k) on
+/// construction, ExitMany on destruction, with the same crash-unwind
+/// rule (a ProcessCrash ends the passage; no Exit). Only construct when
+/// lock.SupportsEnterMany() is true.
+class ScopedBatchPassage {
+ public:
+  ScopedBatchPassage(RecoverableLock& lock, int pid, int k)
+      : lock_(lock), pid_(pid),
+        exceptions_on_entry_(std::uncaught_exceptions()) {
+    lock_.Recover(pid_);
+    lock_.EnterMany(pid_, k);
+  }
+
+  ScopedBatchPassage(const ScopedBatchPassage&) = delete;
+  ScopedBatchPassage& operator=(const ScopedBatchPassage&) = delete;
+
+  ~ScopedBatchPassage() noexcept(false) {
+    if (std::uncaught_exceptions() == exceptions_on_entry_) {
+      lock_.ExitMany(pid_);
+    }
+  }
+
+ private:
+  RecoverableLock& lock_;
+  int pid_;
+  int exceptions_on_entry_;
+};
+
+/// Runs k critical-section bodies (body(0) .. body(k-1)) under `lock`.
+/// Locks that opt into EnterMany run the whole batch as one passage; the
+/// rest fall back to k independent full passages. Returns the number of
+/// passages used (1 batched, else k), so callers can account the
+/// amortization. The bodies must be idempotent under crash-replay, the
+/// same discipline every CS in this codebase already follows.
+template <typename Body>
+int RunBatched(RecoverableLock& lock, int pid, int k, Body&& body) {
+  if (k > 1 && lock.SupportsEnterMany()) {
+    ScopedBatchPassage batch(lock, pid, k);
+    for (int i = 0; i < k; ++i) body(i);
+    return 1;
+  }
+  for (int i = 0; i < k; ++i) {
+    ScopedPassage passage(lock, pid);
+    body(i);
+  }
+  return k;
+}
+
 }  // namespace rme

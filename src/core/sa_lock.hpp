@@ -47,6 +47,7 @@ class SaLock final : public RecoverableLock {
   std::string name() const override { return "sa-lock(" + core_->name() + ")"; }
 
   bool IsStronglyRecoverable() const override { return true; }
+  bool SupportsEnterMany() const override { return true; }
   bool IsSensitiveSite(const std::string& site, bool after_op) const override;
   void OnProcessDone(int pid) override;
   std::string StatsString() const override;

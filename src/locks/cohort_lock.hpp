@@ -75,6 +75,9 @@ class CohortLock final : public RecoverableLock {
   void OnProcessDone(int pid) override;
 
   std::string name() const override { return label_; }
+  /// The cohort layer already batches *passages* via in-cohort handoff;
+  /// caller-side EnterMany composes with it (a batch is one passage).
+  bool SupportsEnterMany() const override { return true; }
   int LastPathDepth(int pid) const override {
     return last_depth_[pid].load(std::memory_order_relaxed);
   }

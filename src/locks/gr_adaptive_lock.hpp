@@ -35,6 +35,7 @@ class GrAdaptiveLock final : public RecoverableLock {
   void Enter(int pid) override;
   void Exit(int pid) override;
   std::string name() const override { return "gr-adaptive"; }
+  bool SupportsEnterMany() const override { return true; }
 
   uint64_t EpochRaw() const { return epoch_.RawLoad(); }
 

@@ -27,6 +27,33 @@ class RecoverableLock {
   /// Release; must satisfy Bounded Exit.
   virtual void Exit(int pid) = 0;
 
+  /// API-level passage batching: true iff this lock supports running a
+  /// small, caller-bounded batch of k critical sections as ONE passage —
+  /// EnterMany(pid, k), then the k CS bodies back-to-back, then
+  /// ExitMany(pid) — so one queue traversal (and one Recover resolve) is
+  /// amortized over the whole batch. To the lock the batch is just a
+  /// longer critical section, so opting in is a statement about bounds,
+  /// not safety: the family accepts O(k) extra hold time without
+  /// breaking its starvation/RMR guarantees. Recovery contract: a crash
+  /// anywhere inside the batch is a crash in one passage; the caller
+  /// re-runs the batch's idempotent bodies after Recover(), exactly as
+  /// for a single CS. Families that stay at the default false take the
+  /// fallback path (k independent full passages) in RunBatched
+  /// (core/guard.hpp).
+  virtual bool SupportsEnterMany() const { return false; }
+
+  /// Acquire for a batch of k critical sections (k >= 1). The base
+  /// implementation ignores the hint; queue locks may use it (e.g. to
+  /// widen a handoff batch). Only call when SupportsEnterMany() is true;
+  /// pair with ExitMany.
+  virtual void EnterMany(int pid, int k) {
+    (void)k;
+    Enter(pid);
+  }
+
+  /// Release after EnterMany.
+  virtual void ExitMany(int pid) { Exit(pid); }
+
   virtual std::string name() const = 0;
 
   /// True if the lock guarantees the strong ME property (never violated);

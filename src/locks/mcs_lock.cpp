@@ -32,10 +32,16 @@ void McsLock::Exit(int pid) {
   if (!tail_.CompareExchange(mine, nullptr, "mcs.tail.cas")) {
     // Queue is non-empty: a successor has performed (or will perform) the
     // FAS; wait for its link, then hand the lock over.
+    // Park on the successor link (expected = the null low word we just
+    // read): under oversubscription the successor is routinely preempted
+    // between its tail FAS and its link store, and a wordless SpinPause
+    // here degenerates into blind 50-800us naps — the 8-thread collapse
+    // in BENCH_throughput.json. The successor's link Store wakes us
+    // through the write probe's MaybeWakeParked, same as "mcs.spin".
     uint64_t iter = 0;
     QNode* next = nullptr;
     while ((next = mine->next.Load("mcs.exit.next")) == nullptr) {
-      SpinPause(iter++);
+      SpinPause(iter++, mine->next.futex_word(), 0);
     }
     next->locked.Store(0, "mcs.signal");
   }

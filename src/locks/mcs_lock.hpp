@@ -29,6 +29,9 @@ class McsLock final : public RecoverableLock {
   /// Not crash-tolerant: a holder killed mid-CS never releases, so the
   /// fork harness must not run it under real SIGKILL injection.
   bool SupportsSharedPlacement() const override { return false; }
+  /// Batch-hold is where a queue lock shines: one tail FAS and one
+  /// successor handoff amortized over the whole batch.
+  bool SupportsEnterMany() const override { return true; }
 
  private:
   int n_;

@@ -25,6 +25,7 @@ class TicketRLock final : public RecoverableLock {
   void Enter(int pid) override { inner_.Enter(pid, pid); }
   void Exit(int pid) override { inner_.Exit(pid, pid); }
   std::string name() const override { return "cw-ticket"; }
+  bool SupportsEnterMany() const override { return true; }
 
   int64_t QueuedRequests() const override {
     // head = the holder's (lowest unreleased) ticket, tail = next free:

@@ -37,6 +37,9 @@ class TreeLock : public RecoverableLock {
   void Enter(int pid) override;
   void Exit(int pid) override;
   std::string name() const override;
+  /// Batch-hold amortizes the full root-to-leaf traversal, the most
+  /// expensive Enter in the zoo — tournament and kport-tree inherit.
+  bool SupportsEnterMany() const override { return true; }
 
   int depth() const { return depth_; }
   int arity() const { return k_; }

@@ -40,6 +40,7 @@ class WrLock final : public RecoverableLock {
   std::string name() const override { return "wr-lock"; }
 
   bool IsStronglyRecoverable() const override { return false; }
+  bool SupportsEnterMany() const override { return true; }
   bool IsSensitiveSite(const std::string& site, bool after_op) const override;
   void OnProcessDone(int pid) override;
 

@@ -1,0 +1,1172 @@
+#include "runtime/kv_service.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/lock_registry.hpp"
+#include "crash/crash.hpp"
+#include "locks/cohort_lock.hpp"
+#include "locks/lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/striped_table.hpp"
+#include "shm/shm_layout.hpp"
+#include "shm/shm_segment.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+namespace {
+
+using shm::EventKind;
+using shm::PidPhase;
+
+/// Cap on ops drawn per NCS visit (the EnterMany batch source).
+constexpr int kMaxBatchOps = 16;
+
+/// One KV cell. Uninstrumented atomics on purpose: at millions of keys
+/// the rmr::Atomic cache-line padding would dominate the segment, and
+/// the crash windows inside the CS body are pinned by explicit probe
+/// sites instead (kv.put.tear, kv.txn.stage, kv.txn.pub).
+struct KvCell {
+  std::atomic<uint64_t> value{0};    ///< put plane: KvValueForTag(version)
+  std::atomic<uint64_t> version{0};  ///< put plane: (txn << 8) | pid
+  std::atomic<uint64_t> balance{0};  ///< txn plane: conserved by transfers
+};
+
+/// Per-pid write-ahead record covering both write kinds: puts replay as
+/// blind tag-derived stores (kv_store idiom), transactions stage their
+/// post-balances first (bank_ledger idiom). `txn` is published last on
+/// prepare, so a record is either fully described or absent.
+struct alignas(kCacheLineBytes) KvRedo {
+  std::atomic<uint64_t> txn{0};
+  std::atomic<uint32_t> kind{0};  ///< KvOp::Kind (kPut or kTxn)
+  std::atomic<uint32_t> nkeys{0};
+  std::atomic<uint64_t> key[kKvMaxTxnKeys];
+  std::atomic<uint64_t> staged_txn{0};
+  std::atomic<uint64_t> staged_val[kKvMaxTxnKeys];
+  std::atomic<uint64_t> applied{0};
+};
+
+/// Per-stripe event: the fork harness's ShmEvent with a stripe operand
+/// (kEnter/kExit/kCrashNoted are per-stripe; the rest ignore it). The
+/// kind word is written last (release), exactly like shm::ShmEvent.
+struct KvEvent {
+  uint32_t pid = 0;
+  std::atomic<uint32_t> kind{0};
+  uint32_t stripe = 0;
+  uint32_t unsafe = 0;
+  uint64_t passage = 0;
+};
+
+struct alignas(kCacheLineBytes) KvPidControl {
+  std::atomic<uint64_t> ops_done{0};
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> passages{0};
+  std::atomic<uint64_t> batched_passages{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> txns{0};
+  std::atomic<uint32_t> req_open{0};
+  std::atomic<uint32_t> finished{0};
+  std::atomic<uint32_t> phase{0};
+  std::atomic<uint32_t> pad{0};
+  std::atomic<uint64_t> incarnation{0};
+  std::atomic<const char*> last_probe_site{nullptr};
+  /// Held-stripe forensics, slot i = i-th stripe acquired this passage:
+  /// stripe+1 (0 = none) plus the logged-CS bracket ticket in the
+  /// shm::EncodeCsTicket encoding — the fork harness's single cs_ticket
+  /// generalized to ordered multi-stripe holds.
+  std::atomic<uint64_t> held_stripe[kKvMaxTxnKeys];
+  std::atomic<uint64_t> held_ticket[kKvMaxTxnKeys];
+};
+
+/// Per-pid latency reservoir in the segment: single-writer Algorithm R
+/// over fixed storage, readable by the parent after the child is gone.
+/// A SIGKILL can tear at most the one in-flight sample slot.
+struct KvReservoir {
+  std::atomic<uint64_t> seen{0};
+  double* samples = nullptr;  ///< segment array, `capacity` doubles
+  uint64_t capacity = 0;
+};
+
+struct KvControl {
+  std::atomic<uint64_t> log_next{0};
+  std::atomic<uint32_t> log_overflow{0};
+  uint32_t pad = 0;
+  uint64_t log_cap = 0;  ///< 0 when event logging is off
+  KvEvent* log = nullptr;
+  std::atomic<uint64_t> cs_overlap_events{0};
+  SigkillCrash::PidSlot kill_slots[kMaxProcs];
+  KvPidControl per_pid[kMaxProcs];
+  SharedOpCounters pid_counters[kMaxProcs];
+  KvReservoir reservoirs[kMaxProcs];
+  KvRedo redo[kMaxProcs];
+  rmr_detail::ParkLot park_lot;
+};
+
+uint64_t KvReserve(KvControl* ctl) {
+  const uint64_t slot = ctl->log_next.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= ctl->log_cap) {
+    ctl->log_overflow.store(1, std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+void KvCommit(KvControl* ctl, uint64_t slot, EventKind kind, int pid,
+              uint32_t stripe, uint64_t passage, bool unsafe = false) {
+  if (slot >= ctl->log_cap) return;
+  KvEvent& e = ctl->log[slot];
+  e.pid = static_cast<uint32_t>(pid);
+  e.stripe = stripe;
+  e.passage = passage;
+  e.unsafe = unsafe ? 1 : 0;
+  e.kind.store(static_cast<uint32_t>(kind), std::memory_order_release);
+}
+
+void KvAppend(KvControl* ctl, EventKind kind, int pid, uint32_t stripe,
+              uint64_t passage, bool unsafe = false) {
+  if (ctl->log_cap == 0) return;
+  KvCommit(ctl, KvReserve(ctl), kind, pid, stripe, passage, unsafe);
+}
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepBriefly() {
+  struct timespec ts{0, 200'000};  // 200us
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Insertion sort for the <= kKvMaxTxnKeys stripe sets (std::sort's
+/// 16-element insertion threshold trips -Warray-bounds on these).
+void SortStripes(uint32_t* s, int m) {
+  for (int i = 1; i < m; ++i) {
+    const uint32_t x = s[i];
+    int j = i;
+    for (; j > 0 && s[j - 1] > x; --j) s[j] = s[j - 1];
+    s[j] = x;
+  }
+}
+
+const char* HoldSite(int held) {
+  static const char* kSites[kKvMaxTxnKeys] = {"kv.hold1", "kv.hold2",
+                                              "kv.hold3", "kv.hold4"};
+  return kSites[std::min(held - 1, kKvMaxTxnKeys - 1)];
+}
+
+/// Everything a child op loop needs; lives on the child's stack, all
+/// pointers into the (fork-shared) segment.
+struct ChildCtx {
+  const KvServiceConfig* cfg;
+  KvControl* ctl;
+  StripedTable* table;
+  KvCell* cells;
+  CrashController* crash;
+  int pid;
+  Prng rng;        ///< NCS draws + reservoir, per incarnation
+  KvPidControl* me;
+  KvRedo* redo;
+
+  void Publish(PidPhase ph) {
+    me->phase.store(static_cast<uint32_t>(ph), std::memory_order_relaxed);
+  }
+  void Probe(const char* site) {
+    me->last_probe_site.store(site, std::memory_order_relaxed);
+    if (crash != nullptr) (void)crash->ShouldCrash(pid, site, true);
+  }
+  void AddLatency(double us) {
+    KvReservoir& r = ctl->reservoirs[pid];
+    const uint64_t seen =
+        r.seen.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (seen <= r.capacity) {
+      r.samples[seen - 1] = us;
+    } else {
+      const uint64_t j = rng.NextBounded(seen);
+      if (j < r.capacity) r.samples[j] = us;
+    }
+  }
+
+  /// Acquires stripe `s` as held slot `idx` with the full bracket
+  /// discipline (pre-record, reserve, ticket, probe, commit, tripwire).
+  void AcquireStripe(uint32_t s, int idx, uint64_t passage, bool batched,
+                     int k) {
+    RecoverableLock* lk = table->LockAt(s);
+    // Record the *attempt* before touching the lock: a SIGKILL anywhere
+    // from here to the slot clear in ReleaseStripe leaves our queue node
+    // (or the CS itself) wedged inside this stripe's lock, and Algorithm 1
+    // requires the same pid to re-enter THIS lock to heal it. With one
+    // global lock the fork harness gets that for free; with striping the
+    // respawn preamble must know which stripe to revisit. Ticket 0 =
+    // "attempting, not in a logged CS".
+    me->held_ticket[idx].store(0, std::memory_order_relaxed);
+    me->held_stripe[idx].store(s + 1, std::memory_order_release);
+    Publish(PidPhase::kRecovering);
+    Probe("h.recover.brk");
+    lk->Recover(pid);
+    Probe("h.recover.done");
+    Publish(PidPhase::kEntering);
+    if (batched) {
+      lk->EnterMany(pid, k);
+    } else {
+      lk->Enter(pid);
+    }
+    StripeEntry& entry = table->EntryAt(s);
+    if (ctl->log_cap != 0) {
+      const uint64_t slot = KvReserve(ctl);
+      me->held_ticket[idx].store(
+          shm::EncodeCsTicket(slot, shm::kCsEnterPhase),
+          std::memory_order_release);
+      Probe(HoldSite(idx + 1));
+      KvCommit(ctl, slot, EventKind::kEnter, pid, s, passage);
+    } else {
+      Probe(HoldSite(idx + 1));
+    }
+    const uint32_t prev = entry.owner.exchange(
+        static_cast<uint32_t>(pid) + 1, std::memory_order_acq_rel);
+    if (prev != 0 && prev != static_cast<uint32_t>(pid) + 1) {
+      entry.cs_overlaps.fetch_add(1, std::memory_order_relaxed);
+      ctl->cs_overlap_events.fetch_add(1, std::memory_order_relaxed);
+    }
+    entry.acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (batched) entry.batched_passages.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Releases held slot `idx` (stripe `s`), mirroring the harness's
+  /// exit-bracket ordering: reserve, flip ticket, release tripwire,
+  /// commit, clear, lock Exit.
+  void ReleaseStripe(uint32_t s, int idx, uint64_t passage, bool batched) {
+    StripeEntry& entry = table->EntryAt(s);
+    if (ctl->log_cap != 0) {
+      const uint64_t slot = KvReserve(ctl);
+      me->held_ticket[idx].store(
+          shm::EncodeCsTicket(slot, shm::kCsExitPhase),
+          std::memory_order_release);
+      Probe("kv.exit.brk");
+      entry.owner.store(0, std::memory_order_release);
+      KvCommit(ctl, slot, EventKind::kExit, pid, s, passage);
+    } else {
+      entry.owner.store(0, std::memory_order_release);
+    }
+    RecoverableLock* lk = table->LockAt(s);
+    if (batched) {
+      lk->ExitMany(pid);
+    } else {
+      lk->Exit(pid);
+    }
+    // Clear the attempt record only once the lock is fully released: a
+    // kill inside Exit() must still send the respawn back to this stripe.
+    me->held_ticket[idx].store(0, std::memory_order_release);
+    me->held_stripe[idx].store(0, std::memory_order_release);
+  }
+
+  /// Applies the pending redo record. Requires every stripe of its keys
+  /// to be held. Idempotent under crash-replay:
+  ///  - puts: every stored word is a pure function of the (txn, pid)
+  ///    tag, so replay is blind re-stores;
+  ///  - txns: STAGE persists the post-balances before PUBLISH touches
+  ///    the cells, so replay either re-stages identical values (cells
+  ///    untouched) or re-publishes the staged ones.
+  void ApplyRedo() {
+    const uint64_t txn = redo->txn.load(std::memory_order_acquire);
+    if (redo->applied.load(std::memory_order_relaxed) == txn) return;
+    const auto kind =
+        static_cast<KvOp::Kind>(redo->kind.load(std::memory_order_relaxed));
+    const int nk = static_cast<int>(redo->nkeys.load(std::memory_order_relaxed));
+    if (kind == KvOp::kPut) {
+      const uint64_t tag =
+          (txn << 8) | static_cast<uint64_t>(pid);
+      for (int i = 0; i < nk; ++i) {
+        KvCell& cell = cells[redo->key[i].load(std::memory_order_relaxed)];
+        cell.value.store(KvValueForTag(tag), std::memory_order_relaxed);
+        // The torn-put window the integrity audit watches: a kill here
+        // leaves value new but version old, and only the CSR replay of
+        // this same record may heal it.
+        Probe("kv.put.tear");
+        cell.version.store(tag, std::memory_order_release);
+      }
+    } else {
+      if (redo->staged_txn.load(std::memory_order_acquire) != txn) {
+        // STAGE: cells untouched for this txn; compute the post-transfer
+        // balances and persist them before the stage commit point.
+        const uint64_t amount = 1 + txn % 50;
+        uint64_t bal[kKvMaxTxnKeys];
+        for (int i = 0; i < nk; ++i) {
+          bal[i] = cells[redo->key[i].load(std::memory_order_relaxed)]
+                       .balance.load(std::memory_order_relaxed);
+        }
+        const uint64_t moved = std::min(bal[0], amount);
+        uint64_t out[kKvMaxTxnKeys];
+        out[0] = bal[0] - moved;
+        if (nk > 1) {
+          const uint64_t share = moved / static_cast<uint64_t>(nk - 1);
+          uint64_t given = 0;
+          for (int i = 1; i < nk; ++i) {
+            const uint64_t add =
+                i == nk - 1 ? moved - given : share;
+            out[i] = bal[i] + add;
+            given += add;
+          }
+        } else {
+          out[0] = bal[0];  // degenerate single-key txn: conserve
+        }
+        for (int i = 0; i < nk; ++i) {
+          redo->staged_val[i].store(out[i], std::memory_order_relaxed);
+        }
+        Probe("kv.txn.stage");
+        redo->staged_txn.store(txn, std::memory_order_release);
+      }
+      // PUBLISH: blind idempotent stores of the staged balances.
+      for (int i = 0; i < nk; ++i) {
+        cells[redo->key[i].load(std::memory_order_relaxed)].balance.store(
+            redo->staged_val[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        Probe("kv.txn.pub");
+      }
+    }
+    redo->applied.store(txn, std::memory_order_release);
+  }
+
+  /// Runs one passage over `m` sorted distinct stripes with `k_ops` CS
+  /// bodies provided by `body()`. Handles batching, brackets, latency.
+  template <typename Body>
+  void RunPassage(const uint32_t* stripes, int m, int k_ops, Body&& body) {
+    const uint64_t passage = me->passages.load(std::memory_order_relaxed);
+    if (me->req_open.load(std::memory_order_relaxed) == 0) {
+      me->req_open.store(1, std::memory_order_relaxed);
+      KvAppend(ctl, EventKind::kReqStart, pid, 0, passage);
+    }
+    me->attempts.fetch_add(1, std::memory_order_relaxed);
+    const double t0 = NowSeconds();
+    // EnterMany batches only single-stripe groups: a multi-stripe hold
+    // is already one passage over its ordered stripes.
+    const bool batched = m == 1 && k_ops > 1 &&
+                         table->LockAt(stripes[0])->SupportsEnterMany();
+    for (int j = 0; j < m; ++j) {
+      AcquireStripe(stripes[j], j, passage, batched, k_ops);
+    }
+    Publish(PidPhase::kCs);
+    body();
+    Publish(PidPhase::kExiting);
+    for (int j = m - 1; j >= 0; --j) {
+      ReleaseStripe(stripes[j], j, passage, batched);
+    }
+    AddLatency((NowSeconds() - t0) * 1e6);
+    KvAppend(ctl, EventKind::kReqDone, pid, 0, passage);
+    me->req_open.store(0, std::memory_order_relaxed);
+    me->passages.fetch_add(1, std::memory_order_relaxed);
+    if (batched) me->batched_passages.fetch_add(1, std::memory_order_relaxed);
+    Publish(PidPhase::kIdle);
+  }
+
+  /// Computes the sorted distinct stripe set of the pending redo and
+  /// completes it as one passage — the resume half of the
+  /// release-or-complete contract.
+  void ResumeRedo() {
+    const int nk =
+        static_cast<int>(redo->nkeys.load(std::memory_order_relaxed));
+    uint32_t stripes[kKvMaxTxnKeys];
+    int m = 0;
+    for (int i = 0; i < nk; ++i) {
+      const uint32_t s =
+          table->StripeOf(redo->key[i].load(std::memory_order_relaxed));
+      bool dup = false;
+      for (int j = 0; j < m; ++j) dup = dup || stripes[j] == s;
+      if (!dup) stripes[m++] = s;
+    }
+    SortStripes(stripes, m);
+    const auto kind =
+        static_cast<KvOp::Kind>(redo->kind.load(std::memory_order_relaxed));
+    RunPassage(stripes, m, /*k_ops=*/1, [&] { ApplyRedo(); });
+    me->ops_done.fetch_add(static_cast<uint64_t>(nk),
+                           std::memory_order_relaxed);
+    if (kind == KvOp::kPut) {
+      me->puts.fetch_add(static_cast<uint64_t>(nk),
+                         std::memory_order_relaxed);
+    } else {
+      me->txns.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Prepares the redo record for a write set (all slots first, txn id
+  /// last with release — prepared-or-absent).
+  uint64_t PrepareRedo(KvOp::Kind kind, const uint64_t* keys, int nk) {
+    const uint64_t txn = redo->applied.load(std::memory_order_relaxed) + 1;
+    redo->kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+    redo->nkeys.store(static_cast<uint32_t>(nk), std::memory_order_relaxed);
+    for (int i = 0; i < nk; ++i) {
+      redo->key[i].store(keys[i], std::memory_order_relaxed);
+    }
+    redo->txn.store(txn, std::memory_order_release);
+    return txn;
+  }
+};
+
+[[noreturn]] void KvChildMain(KvControl* ctl, StripedTable* table,
+                              KvCell* cells, CrashController* crash, int pid,
+                              uint64_t incarnation,
+                              const KvServiceConfig& cfg) {
+  KvPidControl& me = ctl->per_pid[pid];
+  if (me.incarnation.load(std::memory_order_acquire) != incarnation) {
+    std::_Exit(0);  // stale respawn: the parent moved past us
+  }
+  CurrentProcess() = ProcessContext{};
+  ProcessBinding bind(pid, crash, &ctl->pid_counters[pid]);
+  WakeAllParked();
+
+  ChildCtx cx{&cfg,
+              ctl,
+              table,
+              cells,
+              crash,
+              pid,
+              Prng(cfg.seed, (incarnation << 16) + static_cast<uint64_t>(pid)),
+              &me,
+              &ctl->redo[pid]};
+
+  // ---- Crash-recovery preamble --------------------------------------
+  // 1. Held-stripe forensics: for every stripe our corpse held, decide
+  //    died-in-logged-CS from the bracket ticket (the fork harness's
+  //    cs_ticket rule per slot), emit kCrashNoted(stripe), and free the
+  //    live tripwire the corpse still owns.
+  uint32_t corpse_stripes[kKvMaxTxnKeys];
+  int n_corpse = 0;
+  for (int i = 0; i < kKvMaxTxnKeys; ++i) {
+    const uint64_t sp1 = me.held_stripe[i].load(std::memory_order_acquire);
+    if (sp1 == 0) continue;
+    const uint32_t s = static_cast<uint32_t>(sp1 - 1);
+    corpse_stripes[n_corpse++] = s;
+    const uint64_t ticket = me.held_ticket[i].load(std::memory_order_acquire);
+    if (ctl->log_cap != 0 && ticket != 0) {
+      const uint64_t slot = shm::CsTicketSlot(ticket);
+      const bool committed =
+          slot < ctl->log_cap &&
+          ctl->log[slot].kind.load(std::memory_order_acquire) !=
+              static_cast<uint32_t>(EventKind::kInvalid);
+      const bool died_in_logged_cs =
+          shm::CsTicketPhase(ticket) == shm::kCsEnterPhase ? committed
+                                                           : !committed;
+      if (died_in_logged_cs) {
+        KvAppend(ctl, EventKind::kCrashNoted, pid, s,
+                 me.passages.load(std::memory_order_relaxed));
+      }
+    }
+    uint32_t mine = static_cast<uint32_t>(pid) + 1;
+    table->EntryAt(s).owner.compare_exchange_strong(
+        mine, 0, std::memory_order_acq_rel);
+    me.held_ticket[i].store(0, std::memory_order_release);
+    me.held_stripe[i].store(0, std::memory_order_release);
+  }
+
+  const uint64_t quota = cfg.ops_per_proc;
+
+  // 2. Release-or-complete: a prepared-but-unapplied redo is completed
+  //    first (re-acquiring its stripes re-enters every CS the corpse
+  //    died holding — strong families owe that reentry to everyone else
+  //    per CSR). A corpse that held stripes with NO pending redo died in
+  //    a read passage: revisit each held stripe with an empty passage so
+  //    the lock sees its owed reentry promptly.
+  if (cx.redo->txn.load(std::memory_order_acquire) !=
+      cx.redo->applied.load(std::memory_order_relaxed)) {
+    cx.ResumeRedo();
+  } else {
+    for (int i = 0; i < n_corpse; ++i) {
+      const uint32_t s = corpse_stripes[i];
+      cx.RunPassage(&s, 1, 1, [] {});
+    }
+  }
+
+  // ---- Main op loop --------------------------------------------------
+  const int batch = std::clamp(cfg.batch_ops, 1, kMaxBatchOps);
+  while (me.ops_done.load(std::memory_order_relaxed) < quota) {
+    // NCS: draw up to `batch` ops.
+    KvOp ops[kMaxBatchOps];
+    const uint64_t left = quota - me.ops_done.load(std::memory_order_relaxed);
+    const int n_ops = static_cast<int>(
+        std::min<uint64_t>(static_cast<uint64_t>(batch), left));
+    for (int i = 0; i < n_ops; ++i) ops[i] = cfg.draw(pid, cx.rng);
+
+    // Partition: single-key ops group by stripe (sorted, so groups are
+    // consecutive runs); transactions run standalone with ordered
+    // multi-stripe acquisition.
+    int idx[kMaxBatchOps];
+    int n_single = 0;
+    for (int i = 0; i < n_ops; ++i) {
+      if (ops[i].kind != KvOp::kTxn) idx[n_single++] = i;
+    }
+    std::sort(idx, idx + n_single, [&](int a, int b) {
+      return table->StripeOf(ops[a].keys[0]) < table->StripeOf(ops[b].keys[0]);
+    });
+
+    int g = 0;
+    while (g < n_single) {
+      const uint32_t stripe = table->StripeOf(ops[idx[g]].keys[0]);
+      // One group = a consecutive same-stripe run, split so its write
+      // set fits the redo record.
+      int end = g;
+      int n_put = 0;
+      while (end < n_single &&
+             table->StripeOf(ops[idx[end]].keys[0]) == stripe) {
+        const bool is_put = ops[idx[end]].kind == KvOp::kPut;
+        if (is_put && n_put == kKvMaxTxnKeys) break;
+        if (is_put) ++n_put;
+        ++end;
+      }
+      const int k_ops = end - g;
+      uint64_t put_keys[kKvMaxTxnKeys];
+      int np = 0;
+      for (int i = g; i < end; ++i) {
+        if (ops[idx[i]].kind == KvOp::kPut) {
+          put_keys[np++] = ops[idx[i]].keys[0];
+        }
+      }
+      if (np > 0) cx.PrepareRedo(KvOp::kPut, put_keys, np);
+      uint64_t read_sink = 0;
+      cx.RunPassage(&stripe, 1, k_ops, [&] {
+        for (int i = g; i < end; ++i) {
+          if (ops[idx[i]].kind == KvOp::kRead) {
+            const KvCell& cell = cells[ops[idx[i]].keys[0]];
+            read_sink ^= cell.value.load(std::memory_order_relaxed) ^
+                         cell.version.load(std::memory_order_relaxed);
+          }
+        }
+        if (np > 0) cx.ApplyRedo();
+      });
+      me.ops_done.fetch_add(static_cast<uint64_t>(k_ops),
+                            std::memory_order_relaxed);
+      me.reads.fetch_add(static_cast<uint64_t>(k_ops - np),
+                         std::memory_order_relaxed);
+      me.puts.fetch_add(static_cast<uint64_t>(np), std::memory_order_relaxed);
+      g = end;
+    }
+
+    for (int i = 0; i < n_ops; ++i) {
+      if (ops[i].kind != KvOp::kTxn) continue;
+      // Dedupe keys defensively (a duplicate would double-stage a cell),
+      // then acquire the distinct stripes in ascending order.
+      uint64_t keys[kKvMaxTxnKeys];
+      int nk = 0;
+      for (int j = 0; j < ops[i].nkeys && j < kKvMaxTxnKeys; ++j) {
+        bool dup = false;
+        for (int q = 0; q < nk; ++q) dup = dup || keys[q] == ops[i].keys[j];
+        if (!dup) keys[nk++] = ops[i].keys[j];
+      }
+      cx.PrepareRedo(KvOp::kTxn, keys, nk);
+      uint32_t stripes[kKvMaxTxnKeys];
+      int m = 0;
+      for (int j = 0; j < nk; ++j) {
+        const uint32_t s = table->StripeOf(keys[j]);
+        bool dup = false;
+        for (int q = 0; q < m; ++q) dup = dup || stripes[q] == s;
+        if (!dup) stripes[m++] = s;
+      }
+      SortStripes(stripes, m);
+      cx.RunPassage(stripes, m, 1, [&] { cx.ApplyRedo(); });
+      me.ops_done.fetch_add(static_cast<uint64_t>(nk),
+                            std::memory_order_relaxed);
+      me.txns.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Graceful shutdown: no injection while releasing leftover resources
+  // across every stripe lock.
+  CurrentProcess().SetCrashController(nullptr);
+  for (uint32_t s = 0; s < table->stripe_count(); ++s) {
+    table->LockAt(s)->OnProcessDone(pid);
+  }
+  KvAppend(ctl, EventKind::kDone, pid, 0,
+           me.passages.load(std::memory_order_relaxed));
+  cx.Publish(PidPhase::kIdle);
+  me.finished.store(1, std::memory_order_release);
+  std::_Exit(0);
+}
+
+/// Post-hoc per-stripe verdicts: the fork harness's ScanLog with the
+/// holder/obliged state split per stripe and kill consequence intervals
+/// kept global (a kill's interval covers every request it overlapped,
+/// whichever stripes they touch — conservative for weak-lock
+/// admissibility in exactly the direction that never hides a violation
+/// by a strong lock).
+struct KvVerdicts {
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t admissible_overlaps = 0;
+  uint64_t crash_notes = 0;
+  uint64_t phantom_crash_notes = 0;
+  uint64_t max_attempts_per_passage = 0;
+};
+
+KvVerdicts KvScanLog(const KvControl* ctl, uint32_t stripes, bool strong) {
+  KvVerdicts v;
+  std::vector<uint64_t> holders(stripes, 0);
+  std::vector<uint64_t> obliged(stripes, 0);
+  bool req_open[kMaxProcs] = {};
+  uint64_t passage_attempts[kMaxProcs] = {};
+  struct Interval {
+    uint64_t mask;
+  };
+  std::vector<Interval> intervals;
+
+  const uint64_t count = std::min<uint64_t>(
+      ctl->log_next.load(std::memory_order_relaxed), ctl->log_cap);
+  for (uint64_t i = 0; i < count; ++i) {
+    const KvEvent& e = ctl->log[i];
+    const auto kind =
+        static_cast<EventKind>(e.kind.load(std::memory_order_acquire));
+    if (kind == EventKind::kInvalid) continue;
+    const int pid = static_cast<int>(e.pid);
+    const uint64_t bit = 1ULL << pid;
+    const uint32_t s = e.stripe < stripes ? e.stripe : 0;
+
+    switch (kind) {
+      case EventKind::kReqStart:
+        req_open[pid] = true;
+        passage_attempts[pid] = 1;
+        break;
+      case EventKind::kEnter: {
+        if (strong && (obliged[s] & ~bit) != 0) ++v.bcsr_violations;
+        obliged[s] &= ~bit;
+        if ((holders[s] & ~bit) != 0) {
+          if (strong) {
+            ++v.me_violations;
+          } else {
+            bool active = false;
+            for (const Interval& iv : intervals) active = active || iv.mask;
+            if (active) {
+              ++v.admissible_overlaps;
+            } else {
+              ++v.me_violations;
+            }
+          }
+        }
+        holders[s] |= bit;
+        break;
+      }
+      case EventKind::kExit:
+        holders[s] &= ~bit;
+        break;
+      case EventKind::kReqDone:
+        req_open[pid] = false;
+        v.max_attempts_per_passage =
+            std::max(v.max_attempts_per_passage, passage_attempts[pid]);
+        for (Interval& iv : intervals) iv.mask &= ~bit;
+        break;
+      case EventKind::kKill: {
+        if (req_open[pid]) ++passage_attempts[pid];
+        uint64_t mask = 0;
+        for (int j = 0; j < kMaxProcs; ++j) {
+          if (req_open[j]) mask |= 1ULL << j;
+        }
+        intervals.push_back({mask});
+        break;
+      }
+      case EventKind::kCrashNoted:
+        if ((holders[s] & bit) != 0) {
+          holders[s] &= ~bit;
+          if (strong) obliged[s] |= bit;
+          ++v.crash_notes;
+        } else {
+          ++v.phantom_crash_notes;
+        }
+        break;
+      case EventKind::kDone:
+      case EventKind::kInvalid:
+        break;
+    }
+  }
+  return v;
+}
+
+/// Measures one stripe lock's segment footprint (allocation tree + bump
+/// overhead) by building a throwaway instance in a scratch segment. The
+/// instance is deliberately released into the scratch segment, which
+/// unmaps wholesale on return. +1/4 margin absorbs per-stripe allocator
+/// slop in the real build.
+size_t ProbeLockBytes(const KvServiceConfig& cfg, int n) {
+  shm::Segment probe(64u << 20);
+  const size_t before = probe.bytes_used();
+  {
+    shm::PlacementScope scope(&probe);
+    MakeLock(cfg.lock_name, n).release();
+  }
+  const size_t one = probe.bytes_used() - before;
+  return one + one / 4 + 4096;
+}
+
+}  // namespace
+
+uint64_t KvValueForTag(uint64_t tag) {
+  uint64_t x = tag + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+KvServiceResult RunKvService(const KvServiceConfig& cfg) {
+  RME_CHECK(cfg.num_procs > 0 && cfg.num_procs <= kMaxProcs);
+  RME_CHECK(cfg.ops_per_proc > 0);
+  RME_CHECK(cfg.keys > 0);
+  RME_CHECK_MSG(static_cast<bool>(cfg.draw), "KvServiceConfig.draw required");
+  RME_CHECK(cfg.batch_ops >= 1 && cfg.batch_ops <= kMaxBatchOps);
+  RME_CHECK(cfg.storm_kills == 0 || cfg.storm_victim < cfg.num_procs);
+  const int n = cfg.num_procs;
+  constexpr uint64_t kInitialBalance = 100;
+
+  // The cohort families' per-process retention ("keep the whole stack
+  // when Exit observes no demand") is only live in a workload where the
+  // retainer keeps re-entering the SAME lock: demand arriving later is
+  // noticed at the retainer's next Exit, and in a one-lock bench that
+  // next Exit is microseconds away. In a striped service a process may
+  // not revisit a stripe for thousands of ops — or ever — so a waiter
+  // arriving after retention parks on a lock whose holder is gone for
+  // good (observed as a full-fleet wedge at 4096 stripes). Build the
+  // stripe locks with unconditional caps and no cross-passage retention;
+  // in-cohort handoff to a QUEUED waiter stays on (the waiter inherits
+  // the release obligation, so it cannot strand anyone).
+  CohortConfig& cohort_defaults = cohort_lock_defaults();
+  const CohortConfig saved_cohort_defaults = cohort_defaults;
+  cohort_defaults.retain_cap = 1;
+  cohort_defaults.adaptive = false;
+
+  // Sizing. Every op is at most one passage; a passage logs at most
+  // 2 + 2*kKvMaxTxnKeys events; kills add kKill + up to kKvMaxTxnKeys
+  // crash notes + a retried passage.
+  const uint64_t kill_budget =
+      static_cast<uint64_t>(std::max<int64_t>(cfg.self_kill_budget, 0)) +
+      cfg.independent_kills +
+      cfg.batch_kill_events *
+          static_cast<uint64_t>(cfg.batch_size <= 0 ? n : cfg.batch_size) +
+      cfg.storm_kills * static_cast<uint64_t>(cfg.storm_victim < 0 ? n : 1) +
+      cfg.site_kill_count;
+  const uint64_t total_ops = static_cast<uint64_t>(n) * cfg.ops_per_proc;
+  const uint64_t log_cap =
+      cfg.log_events
+          ? (2 + 2 * kKvMaxTxnKeys) * total_ops + 16 * kill_budget +
+                64 * static_cast<uint64_t>(n) + 4096
+          : 0;
+  size_t bytes = cfg.segment_bytes;
+  if (bytes == 0) {
+    // Per-lock footprints vary by orders of magnitude across families
+    // (gr-adaptive's recycling ring alone is ~1.5 MiB of padded QNodes),
+    // so measure one instance in a scratch segment instead of guessing.
+    bytes = sizeof(KvControl) + log_cap * sizeof(KvEvent) +
+            cfg.keys * sizeof(KvCell) +
+            cfg.stripes * (sizeof(StripeEntry) + ProbeLockBytes(cfg, n)) +
+            static_cast<size_t>(n) * cfg.reservoir_capacity * sizeof(double) +
+            (8u << 20);
+  }
+
+  shm::Segment seg(bytes);
+  KvControl* ctl = seg.New<KvControl>();
+  ctl->log_cap = log_cap;
+  if (log_cap != 0) ctl->log = seg.NewArray<KvEvent>(log_cap);
+  for (int pid = 0; pid < n; ++pid) {
+    ctl->reservoirs[pid].capacity = cfg.reservoir_capacity;
+    ctl->reservoirs[pid].samples =
+        seg.NewArray<double>(cfg.reservoir_capacity);
+  }
+  KvCell* cells = seg.NewArray<KvCell>(cfg.keys);
+  for (uint64_t k = 0; k < cfg.keys; ++k) {
+    cells[k].balance.store(kInitialBalance, std::memory_order_relaxed);
+  }
+
+  rmr_detail::ParkLot* prev_lot = InstallParkLot(&ctl->park_lot);
+  const SpinConfig saved_spin = spin_config();
+  if (cfg.spin_budget_us >= 0) {
+    spin_config().spin_budget_us = static_cast<uint32_t>(cfg.spin_budget_us);
+  }
+
+  CrashController* crash = nullptr;
+  RecoveryStormCrash* storm = nullptr;
+  {
+    std::vector<CrashController*> parts;
+    if (cfg.storm_kills > 0) {
+      const uint64_t mask =
+          cfg.storm_victim < 0
+              ? (n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1)
+              : uint64_t{1} << cfg.storm_victim;
+      storm = seg.New<RecoveryStormCrash>(mask, cfg.storm_kills,
+                                          cfg.storm_nth_op);
+      parts.push_back(storm);
+    }
+    if (cfg.self_kill_budget > 0 && cfg.self_kill_per_op > 0) {
+      parts.push_back(seg.New<RandomCrash>(cfg.seed ^ 0x6b76737663ull,
+                                           cfg.self_kill_per_op,
+                                           cfg.self_kill_budget));
+    }
+    if (!cfg.site_kill_site.empty()) {
+      RME_CHECK(cfg.site_kill_pid >= 0 && cfg.site_kill_pid < n);
+      parts.push_back(seg.New<SiteCrash>(cfg.site_kill_pid,
+                                         cfg.site_kill_site,
+                                         /*after_op=*/true, cfg.site_kill_nth,
+                                         cfg.site_kill_count));
+    }
+    if (parts.size() == 1) {
+      crash = seg.New<SigkillCrash>(parts[0], ctl->kill_slots);
+    } else if (!parts.empty()) {
+      crash = seg.New<SigkillCrash>(seg.New<CompositeCrash>(parts),
+                                    ctl->kill_slots);
+    }
+  }
+
+  StripedTable* table =
+      StripedTable::Create(seg, cfg.lock_name, cfg.stripes, n);
+  const bool strong = table->LockAt(0)->IsStronglyRecoverable();
+
+  ResetGlobalAbort();
+  KvServiceResult result;
+  result.ready_stripes = table->ReadyEntries();
+
+  struct ChildState {
+    pid_t os_pid = -1;
+    bool alive = false;
+    bool finished = false;
+    bool parent_kill_pending = false;
+    bool watchdog_kill_pending = false;
+    uint64_t self_kills_seen = 0;
+    uint64_t last_progress = 0;
+    double last_progress_at = 0.0;
+    int hang_respawns = 0;
+    bool respawn_scheduled = false;
+    double respawn_at = 0.0;
+  };
+  std::vector<ChildState> children(static_cast<size_t>(n));
+
+  // Progress = completed work only (ops, passages, attempts) — NOT the
+  // mirrored op counters: a pid parked on a dead holder's futex still
+  // issues instrumented re-loads on every timeout recheck, so counting
+  // raw ops would let a wedged child look alive forever and blind both
+  // watchdogs to a genuine cross-stripe deadlock.
+  auto child_progress = [&](int pid) {
+    const KvPidControl& pc = ctl->per_pid[pid];
+    return pc.ops_done.load(std::memory_order_relaxed) +
+           pc.passages.load(std::memory_order_relaxed) +
+           pc.attempts.load(std::memory_order_relaxed);
+  };
+
+  auto spawn = [&](int pid) {
+    const uint64_t inc =
+        ctl->per_pid[pid].incarnation.fetch_add(1, std::memory_order_acq_rel) +
+        1;
+    const pid_t c = ::fork();
+    RME_CHECK_MSG(c >= 0, "fork failed");
+    if (c == 0) {
+      KvChildMain(ctl, table, cells, crash, pid, inc, cfg);
+    }
+    ChildState& cs = children[static_cast<size_t>(pid)];
+    cs.os_pid = c;
+    cs.alive = true;
+    cs.last_progress = child_progress(pid);
+    cs.last_progress_at = NowSeconds();
+  };
+
+  const double t0 = NowSeconds();
+  for (int pid = 0; pid < n; ++pid) spawn(pid);
+
+  Prng kill_rng(cfg.seed, 0x6b76ull);
+  uint64_t independent_left = cfg.independent_kills;
+  uint64_t batches_left = cfg.batch_kill_events;
+  double next_kill_at = t0 + cfg.kill_interval_ms / 1000.0;
+
+  uint64_t last_progress = 0;
+  double last_progress_at = t0;
+  bool shutting_down = false;
+
+  auto progress_now = [&] {
+    uint64_t p = result.kills;
+    for (int pid = 0; pid < n; ++pid) p += child_progress(pid);
+    return p;
+  };
+
+  auto kill_victim = [&](int pid) {
+    ChildState& cs = children[static_cast<size_t>(pid)];
+    cs.parent_kill_pending = true;
+    KvAppend(ctl, EventKind::kKill, pid, 0,
+             ctl->per_pid[pid].passages.load(std::memory_order_relaxed),
+             /*unsafe=*/true);
+    ::kill(cs.os_pid, SIGKILL);
+  };
+
+  for (;;) {
+    for (;;) {
+      int status = 0;
+      const pid_t dead = ::waitpid(-1, &status, WNOHANG);
+      if (dead <= 0) break;
+      int pid = -1;
+      for (int j = 0; j < n; ++j) {
+        if (children[static_cast<size_t>(j)].os_pid == dead) {
+          pid = j;
+          break;
+        }
+      }
+      if (pid < 0) continue;
+      ChildState& cs = children[static_cast<size_t>(pid)];
+      cs.alive = false;
+
+      if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        RME_CHECK_MSG(
+            ctl->per_pid[pid].finished.load(std::memory_order_acquire) != 0,
+            "kv child exited cleanly without finishing its workload");
+        cs.finished = true;
+        continue;
+      }
+
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) {
+        ++result.kills;
+        const uint64_t fired =
+            ctl->kill_slots[pid].fired.load(std::memory_order_acquire);
+        if (fired > cs.self_kills_seen) {
+          cs.self_kills_seen = fired;
+          if (!cs.parent_kill_pending && !cs.watchdog_kill_pending) {
+            KvAppend(ctl, EventKind::kKill, pid, 0,
+                     ctl->per_pid[pid].passages.load(std::memory_order_relaxed),
+                     /*unsafe=*/true);
+          }
+        }
+        cs.parent_kill_pending = false;
+        if (!shutting_down) {
+          if (cs.watchdog_kill_pending) {
+            cs.watchdog_kill_pending = false;
+            if (cs.hang_respawns >= cfg.max_hang_respawns) {
+              ++result.hung_abandoned;
+              cs.finished = true;
+              std::fprintf(stderr,
+                           "KV-HANG: pid %d abandoned after %d hang "
+                           "respawns\n",
+                           pid, cs.hang_respawns);
+            } else {
+              const double backoff = std::min(
+                  1.0,
+                  0.05 * static_cast<double>(
+                             uint64_t{1} << std::min(cs.hang_respawns, 20)));
+              ++cs.hang_respawns;
+              cs.respawn_scheduled = true;
+              cs.respawn_at = NowSeconds() + backoff;
+            }
+          } else {
+            spawn(pid);
+          }
+        } else {
+          cs.watchdog_kill_pending = false;
+        }
+        continue;
+      }
+
+      ++result.child_errors;
+      cs.finished = true;
+    }
+
+    const bool all_done = std::all_of(
+        children.begin(), children.end(),
+        [](const ChildState& c) { return c.finished || !c.alive; });
+    if (std::all_of(children.begin(), children.end(),
+                    [](const ChildState& c) { return c.finished; })) {
+      break;
+    }
+    if (shutting_down && all_done) break;
+
+    const double now = NowSeconds();
+
+    if (!shutting_down) {
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (c.respawn_scheduled && now >= c.respawn_at) {
+          c.respawn_scheduled = false;
+          spawn(j);
+        }
+      }
+    }
+
+    if (!shutting_down && now >= next_kill_at &&
+        (independent_left > 0 || batches_left > 0)) {
+      next_kill_at = now + cfg.kill_interval_ms / 1000.0;
+      std::vector<int> targets;
+      for (int j = 0; j < n; ++j) {
+        const ChildState& c = children[static_cast<size_t>(j)];
+        if (c.alive && !c.finished && !c.parent_kill_pending) {
+          targets.push_back(j);
+        }
+      }
+      if (!targets.empty()) {
+        const bool do_batch =
+            batches_left > 0 &&
+            (independent_left == 0 ||
+             kill_rng.NextBounded(independent_left + batches_left) <
+                 batches_left);
+        if (do_batch) {
+          --batches_left;
+          size_t want =
+              cfg.batch_size <= 0
+                  ? targets.size()
+                  : std::min<size_t>(targets.size(),
+                                     static_cast<size_t>(cfg.batch_size));
+          for (size_t i = 0; i < want; ++i) {
+            const size_t j = i + kill_rng.NextBounded(targets.size() - i);
+            std::swap(targets[i], targets[j]);
+            kill_victim(targets[i]);
+          }
+        } else if (independent_left > 0) {
+          --independent_left;
+          kill_victim(targets[kill_rng.NextBounded(targets.size())]);
+        }
+      }
+    }
+
+    if (!shutting_down && cfg.hang_seconds > 0) {
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (!c.alive || c.finished || c.parent_kill_pending ||
+            c.watchdog_kill_pending) {
+          continue;
+        }
+        const uint64_t p = child_progress(j);
+        if (p != c.last_progress) {
+          c.last_progress = p;
+          c.last_progress_at = now;
+          continue;
+        }
+        if (now - c.last_progress_at <= cfg.hang_seconds) continue;
+        ++result.hangs;
+        const KvPidControl& pc = ctl->per_pid[j];
+        const char* site = pc.last_probe_site.load(std::memory_order_relaxed);
+        std::fprintf(
+            stderr,
+            "KV-HANG: pid %d of '%s' flat for %.2fs: phase=%s ops=%llu "
+            "attempts=%llu last_probe=%s\n",
+            j, cfg.lock_name.c_str(), now - c.last_progress_at,
+            shm::PidPhaseName(pc.phase.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                pc.ops_done.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(
+                pc.attempts.load(std::memory_order_relaxed)),
+            site != nullptr ? site : "(none)");
+        c.watchdog_kill_pending = true;
+        KvAppend(ctl, EventKind::kKill, j, 0,
+                 pc.passages.load(std::memory_order_relaxed),
+                 /*unsafe=*/true);
+        ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
+    const uint64_t progress = progress_now();
+    if (progress != last_progress) {
+      last_progress = progress;
+      last_progress_at = now;
+    } else if (!shutting_down &&
+               now - last_progress_at > cfg.watchdog_seconds) {
+      std::fprintf(stderr,
+                   "KV-WATCHDOG: no progress for %.1fs running '%s'; "
+                   "killing the run\n",
+                   cfg.watchdog_seconds, cfg.lock_name.c_str());
+      result.watchdog_fired = true;
+      shutting_down = true;
+      for (int j = 0; j < n; ++j) {
+        ChildState& c = children[static_cast<size_t>(j)];
+        if (c.alive && !c.finished) ::kill(c.os_pid, SIGKILL);
+      }
+    }
+
+    SleepBriefly();
+  }
+
+  result.wall_seconds = NowSeconds() - t0;
+
+  for (int pid = 0; pid < n; ++pid) {
+    const KvPidControl& pc = ctl->per_pid[pid];
+    result.ops_done += pc.ops_done.load(std::memory_order_relaxed);
+    result.reads += pc.reads.load(std::memory_order_relaxed);
+    result.puts += pc.puts.load(std::memory_order_relaxed);
+    result.txns += pc.txns.load(std::memory_order_relaxed);
+    result.passages += pc.passages.load(std::memory_order_relaxed);
+    result.batched_passages +=
+        pc.batched_passages.load(std::memory_order_relaxed);
+    result.max_incarnations =
+        std::max(result.max_incarnations,
+                 pc.incarnation.load(std::memory_order_relaxed));
+    if (pc.finished.load(std::memory_order_relaxed) == 0) {
+      ++result.starved_pids;
+    }
+  }
+  result.starved_pids -=
+      std::min<uint64_t>(result.starved_pids, result.hung_abandoned);
+  result.ops_per_second =
+      result.wall_seconds > 0 ? result.ops_done / result.wall_seconds : 0.0;
+  result.cs_overlap_events =
+      ctl->cs_overlap_events.load(std::memory_order_relaxed);
+  if (storm != nullptr) {
+    for (int pid = 0; pid < n; ++pid) {
+      result.storm_kills += storm->storm_kills(pid);
+    }
+  }
+
+  // Latency: fold the per-pid segment reservoirs into one Percentiles.
+  Percentiles merged(/*capacity=*/cfg.reservoir_capacity * n,
+                     /*seed=*/cfg.seed ^ 0x70637469ull);
+  for (int pid = 0; pid < n; ++pid) {
+    const KvReservoir& r = ctl->reservoirs[pid];
+    const uint64_t seen = r.seen.load(std::memory_order_relaxed);
+    merged.MergeRaw(r.samples,
+                    static_cast<size_t>(std::min<uint64_t>(seen, r.capacity)),
+                    seen);
+  }
+  merged.Finalize();
+  result.p50_us = merged.Quantile(0.50);
+  result.p99_us = merged.Quantile(0.99);
+  result.p999_us = merged.Quantile(0.999);
+  result.max_us = merged.Quantile(1.0);
+  result.latency_observed = merged.observed();
+  result.latency_samples = merged.size();
+
+  if (cfg.log_events) {
+    result.log_events = std::min<uint64_t>(
+        ctl->log_next.load(std::memory_order_relaxed), ctl->log_cap);
+    result.log_overflow =
+        ctl->log_overflow.load(std::memory_order_relaxed) != 0;
+    const KvVerdicts v = KvScanLog(ctl, cfg.stripes, strong);
+    result.me_violations = v.me_violations;
+    result.bcsr_violations = v.bcsr_violations;
+    result.admissible_overlaps = v.admissible_overlaps;
+    result.crash_notes = v.crash_notes;
+    result.phantom_crash_notes = v.phantom_crash_notes;
+    result.max_attempts_per_passage = v.max_attempts_per_passage;
+  }
+
+  // Audits over the quiescent table.
+  uint64_t total_balance = 0;
+  for (uint64_t k = 0; k < cfg.keys; ++k) {
+    total_balance += cells[k].balance.load(std::memory_order_relaxed);
+    const uint64_t ver = cells[k].version.load(std::memory_order_relaxed);
+    if (ver != 0 &&
+        cells[k].value.load(std::memory_order_relaxed) != KvValueForTag(ver)) {
+      ++result.put_integrity_mismatches;
+    }
+  }
+  const uint64_t expected = kInitialBalance * cfg.keys;
+  result.conservation_delta = total_balance > expected
+                                  ? total_balance - expected
+                                  : expected - total_balance;
+  // The audits bind when every in-flight write was eventually completed
+  // by its owner (nobody abandoned or cut off mid-redo) and, for weak
+  // families, no admissible overlap could have interleaved two CSes.
+  result.audits_binding = result.hung_abandoned == 0 &&
+                          !result.watchdog_fired && result.starved_pids == 0 &&
+                          (strong || result.admissible_overlaps == 0);
+
+  result.segment_bytes_used = seg.bytes_used();
+  spin_config() = saved_spin;
+  cohort_lock_defaults() = saved_cohort_defaults;
+  InstallParkLot(prev_lot);
+  return result;
+}
+
+}  // namespace rme

@@ -1,0 +1,162 @@
+// Sharded recoverable KV service under real-process crashes: the
+// production-shaped workload of ROADMAP item 2, built from the pieces
+// the earlier PRs proved out one at a time.
+//
+//   - millions of (value, version, balance) cells striped over a
+//     runtime/striped_table of registry locks (any family per run);
+//   - a fork-per-pid harness in the fork_harness mold: SIGKILL is the
+//     only failure, respawns re-enter the loop against the surviving
+//     segment, per-stripe event-log verdicts (ME/BCSR, admissible
+//     overlaps for weak families) plus live owner tripwires;
+//   - ops: reads, single-key puts (kv_store's redo idiom — every stored
+//     word a pure function of (txn, pid), so replay is blind and
+//     idempotent), and bank_ledger-style multi-key transactions with
+//     ordered stripe acquisition and STAGE/PUBLISH intent records —
+//     crash mid-transaction and recovery must release-or-complete;
+//   - EnterMany passage batching: drawn ops are grouped by stripe and
+//     each group runs as ONE passage on families that opt in
+//     (locks/lock.hpp), amortizing a queue traversal over the group;
+//   - per-process passage-latency reservoirs in the segment, folded in
+//     the parent via Percentiles::MergeRaw for p99/p999 under kills.
+//
+// Post-run audits (parent, quiescent segment):
+//   - conservation: transactions move balance between cells and must
+//     never create or destroy any (bank_ledger's gate, now cross-stripe);
+//   - put integrity: every cell with a nonzero version must hold exactly
+//     the value derived from that version tag — a torn put that escaped
+//     its CSR replay would break it.
+//
+// Must be called from a single-threaded parent (forks without exec).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace rme {
+
+/// Max keys a multi-key transaction (or the write set of one batched
+/// passage group) may touch: the redo/intent record has this many slots.
+inline constexpr int kKvMaxTxnKeys = 4;
+
+/// One drawn operation. Transactions carry nkeys distinct keys; reads
+/// and puts use keys[0].
+struct KvOp {
+  enum Kind : uint32_t { kRead = 0, kPut = 1, kTxn = 2 };
+  Kind kind = kRead;
+  int nkeys = 1;
+  uint64_t keys[kKvMaxTxnKeys] = {};
+};
+
+/// Workload generator: returns the next op for `pid`. Must draw all
+/// randomness from `rng` (the service seeds one stream per incarnation)
+/// and must be safe to call in forked children — capture only pre-fork
+/// state. The bench supplies the Zipfian/uniform mixes from
+/// bench/bench_common.hpp; tests supply deterministic shapes.
+using KvDrawFn = std::function<KvOp(int pid, Prng& rng)>;
+
+struct KvServiceConfig {
+  std::string lock_name = "wr";
+  int num_procs = 8;
+  uint32_t stripes = 64;      ///< power of two
+  uint64_t keys = 1u << 20;
+  uint64_t ops_per_proc = 2000;
+  /// Ops drawn per NCS visit and grouped by stripe: groups run as one
+  /// EnterMany passage on families that opt in, and as one passage per
+  /// op on the rest (the fallback path). 1 = unbatched.
+  int batch_ops = 1;
+  uint64_t seed = 1;
+  KvDrawFn draw;              ///< required
+
+  /// Event log + post-hoc per-stripe verdict scan. Off for pure perf
+  /// runs (the owner tripwires and audits stay on either way).
+  bool log_events = true;
+
+  // Parent-side kill scheduling (fork_harness regimes).
+  uint64_t independent_kills = 0;
+  uint64_t batch_kill_events = 0;
+  int batch_size = 0;         ///< <=0: all n (system-wide batch)
+  double kill_interval_ms = 2.0;
+
+  // Child-side kills.
+  double self_kill_per_op = 0.0;
+  int64_t self_kill_budget = 0;
+  /// Site-pinned kill: sites "kv.hold1".."kv.hold4" land after the
+  /// pid's 1st..4th held stripe of a passage — the crash windows the
+  /// ordered-acquisition test sweeps.
+  std::string site_kill_site;
+  int site_kill_pid = 0;
+  uint64_t site_kill_nth = 1;
+  uint64_t site_kill_count = 1;
+  /// Recovery storm (Thm 5.17 regime), as in ForkCrashConfig.
+  int storm_victim = 0;
+  uint64_t storm_kills = 0;
+  uint64_t storm_nth_op = 1;
+
+  int32_t spin_budget_us = -1;
+  double hang_seconds = 10.0;
+  int max_hang_respawns = 3;
+  double watchdog_seconds = 30.0;
+  size_t segment_bytes = 0;   ///< 0 = auto-size from stripes/keys/log
+  size_t reservoir_capacity = 8192;  ///< per-pid latency samples
+};
+
+struct KvServiceResult {
+  // Workload accounting.
+  uint64_t ops_done = 0;
+  uint64_t reads = 0, puts = 0, txns = 0;
+  uint64_t passages = 0;
+  uint64_t batched_passages = 0;  ///< passages entered via EnterMany
+  double wall_seconds = 0.0;
+  double ops_per_second = 0.0;
+
+  // Tail latency (microseconds per passage), merged across pids.
+  double p50_us = 0.0, p99_us = 0.0, p999_us = 0.0, max_us = 0.0;
+  uint64_t latency_observed = 0;
+  size_t latency_samples = 0;
+
+  // Kill bookkeeping.
+  uint64_t kills = 0;
+  uint64_t storm_kills = 0;
+  uint64_t hangs = 0, hung_abandoned = 0;
+  uint64_t child_errors = 0;
+  bool watchdog_fired = false;
+
+  // Verdicts (log_events runs).
+  uint64_t me_violations = 0;
+  uint64_t bcsr_violations = 0;
+  uint64_t admissible_overlaps = 0;
+  uint64_t crash_notes = 0;          ///< died-in-CS events recovered
+  uint64_t phantom_crash_notes = 0;
+  uint64_t cs_overlap_events = 0;    ///< live tripwire (includes admissible)
+  uint64_t max_attempts_per_passage = 0;
+  uint64_t starved_pids = 0;         ///< quota unmet, not abandoned
+  bool log_overflow = false;
+  uint64_t log_events = 0;
+
+  // Audits.
+  uint64_t conservation_delta = 0;   ///< |final - initial| total balance
+  uint64_t put_integrity_mismatches = 0;
+  /// True when the audits are binding: no abandoned pid left a redo
+  /// permanently in flight and (for weak families) no admissible overlap
+  /// could explain a mismatch.
+  bool audits_binding = true;
+
+  uint64_t max_incarnations = 0;
+  size_t segment_bytes_used = 0;
+  uint32_t ready_stripes = 0;
+};
+
+/// Runs the service: builds the striped table + cells in a fresh shared
+/// segment, forks cfg.num_procs children through the kill schedule,
+/// scans the log, audits the table, and merges the latency reservoirs.
+KvServiceResult RunKvService(const KvServiceConfig& cfg);
+
+/// The value a put with version tag `tag` must store — shared with the
+/// audit and with tests (SplitMix64 finalizer).
+uint64_t KvValueForTag(uint64_t tag);
+
+}  // namespace rme

@@ -1,0 +1,66 @@
+#include "runtime/striped_table.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <memory>
+
+#include "core/lock_registry.hpp"
+#include "locks/lock.hpp"
+#include "shm/shm_segment.hpp"
+#include "util/assert.hpp"
+
+namespace rme {
+
+StripedTable* StripedTable::Create(shm::Segment& seg,
+                                   const std::string& lock_name,
+                                   uint32_t stripes, int num_procs) {
+  RME_CHECK_MSG(stripes > 0 && std::has_single_bit(stripes),
+                "stripe count must be a power of two");
+  StripedTable* table = seg.New<StripedTable>();
+  table->stripes_ = stripes;
+  table->mask_ = stripes - 1;
+  table->entries_ = seg.NewArray<StripeEntry>(stripes);
+
+  const auto builder = static_cast<uint32_t>(::getpid());
+  for (uint32_t s = 0; s < stripes; ++s) {
+    StripeEntry& e = table->entries_[s];
+    // lockd insert discipline: claim the entry, build the lock with the
+    // whole allocation tree diverted into the segment, publish the
+    // pointer last (release), then flip the word to Ready.
+    e.word.store(lockd::NextWord(e.word.load(std::memory_order_relaxed),
+                                 builder, lockd::kEntryInserting),
+                 std::memory_order_release);
+    std::unique_ptr<RecoverableLock> lock;
+    {
+      shm::PlacementScope scope(&seg);
+      lock = MakeLock(lock_name, num_procs);
+    }
+    RME_CHECK_MSG(lock->SupportsSharedPlacement(),
+                  "lock family cannot run under real-process crashes");
+    RME_CHECK_MSG(seg.Contains(lock.get()),
+                  "stripe lock escaped the shared segment");
+    e.lock.store(lock.release(), std::memory_order_release);
+    e.word.store(lockd::NextWord(e.word.load(std::memory_order_relaxed),
+                                 builder, lockd::kEntryReady),
+                 std::memory_order_release);
+  }
+  return table;
+  // Stripe locks are intentionally released into the segment: like the
+  // fork harness's single lock, they live until the Segment unmaps, and
+  // their memory is reclaimed wholesale with it.
+}
+
+uint32_t StripedTable::ReadyEntries() const {
+  uint32_t ready = 0;
+  for (uint32_t s = 0; s < stripes_; ++s) {
+    const uint64_t w = entries_[s].word.load(std::memory_order_acquire);
+    if (lockd::WordState(w) == lockd::kEntryReady &&
+        entries_[s].lock.load(std::memory_order_acquire) != nullptr) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+}  // namespace rme

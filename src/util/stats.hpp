@@ -52,11 +52,30 @@ class Percentiles {
       : capacity_(capacity), rng_(seed) {}
 
   void Add(double x);
+  /// Folds another reservoir into this one, reservoir-correctly: the
+  /// result is a (near-)uniform sample of the concatenated streams,
+  /// drawn by weighting each side by how much stream it represents.
+  /// When both sides are exact (nothing was ever subsampled) and the
+  /// union fits, the merge degenerates to exact concatenation.
+  /// Deterministic: all randomness comes from this object's member Prng.
+  /// Single-threaded like Add(); typical use is a parent folding
+  /// per-process reservoirs into a fresh instance after the children
+  /// are done.
+  void Merge(const Percentiles& other);
+  /// Merge() for a foreign reservoir given as raw storage: `n` samples
+  /// representing `seen` stream elements (n <= seen). This is how the
+  /// fork-mode parent folds in fixed-capacity reservoirs that children
+  /// maintained in the shared segment.
+  void MergeRaw(const double* samples, size_t n, uint64_t seen);
   /// Sorts the reservoir; call once after the last Add().
   void Finalize();
   /// q in [0, 1]; returns 0 if empty. Requires Finalize() first.
   double Quantile(double q) const;
   size_t size() const { return samples_.size(); }
+  /// Raw reservoir slot i (i < size()); order is unspecified before
+  /// Finalize(), ascending after. With observed(), this is everything a
+  /// foreign MergeRaw needs to fold this reservoir.
+  double sample(size_t i) const { return samples_[i]; }
   /// Total samples offered to Add(): size()/observed() is the retention
   /// rate reports should state when the reservoir subsampled.
   uint64_t observed() const { return seen_; }

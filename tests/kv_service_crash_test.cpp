@@ -1,0 +1,201 @@
+// Real-process crash matrix for the sharded KV service
+// (runtime/kv_service.hpp): forks worker processes against a striped
+// lock table and SIGKILLs them at targeted probe sites, so the binary
+// must stay single-threaded in the parent (gtest runs sequentially on
+// the main thread; nothing here spawns threads).
+//
+// The core sweep is the ISSUE-9 acceptance window: a victim dies while
+// holding k in {1..4} stripe locks of an ordered-acquisition multi-key
+// transaction ("kv.hold1".."kv.hold4"), and recovery must
+// release-or-complete — the respawned pid heals every lock it was
+// wedged in, the staged transaction either fully publishes or never
+// happened, and the cross-stripe balance conservation audit still
+// holds. The remaining tests pin the mid-apply windows (die between
+// STAGE and PUBLISH, die mid-publish, die inside Exit) and the
+// fork_harness kill regimes (independent + batch + recovery storm) on
+// a weak family, plus kills against the EnterMany batched path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "runtime/kv_service.hpp"
+#include "runtime/striped_table.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+namespace {
+
+// Every op is a 4-key transaction whose keys land on four DISTINCT
+// stripes, so each passage climbs the full ordered-acquisition ladder
+// and all four "kv.holdK" crash sites are reached every time.
+KvDrawFn AllTxnDraw(uint32_t stripes, uint64_t keys) {
+  return [stripes, keys](int /*pid*/, Prng& rng) {
+    const uint32_t mask = stripes - 1;
+    KvOp op;
+    op.kind = KvOp::kTxn;
+    op.nkeys = 4;
+    for (int i = 0; i < 4; ++i) {
+      for (;;) {
+        const uint64_t k = rng.NextBounded(keys);
+        const uint32_t s = StripedTable::StripeHash(k) & mask;
+        bool dup = false;
+        for (int j = 0; j < i && !dup; ++j) {
+          dup = (StripedTable::StripeHash(op.keys[j]) & mask) == s;
+        }
+        if (!dup) {
+          op.keys[i] = k;
+          break;
+        }
+      }
+    }
+    return op;
+  };
+}
+
+// Mixed single-key/txn traffic for the batched-path test: singles give
+// the stripe-grouper something to batch, txns keep the multi-stripe
+// recovery paths hot.
+KvDrawFn MixedDraw(uint32_t stripes, uint64_t keys) {
+  return [stripes, keys, txn = AllTxnDraw(stripes, keys)](int pid, Prng& rng) {
+    const double u = rng.NextDouble();
+    if (u < 0.10) return txn(pid, rng);
+    KvOp op;
+    op.kind = u < 0.60 ? KvOp::kPut : KvOp::kRead;
+    op.nkeys = 1;
+    op.keys[0] = rng.NextBounded(keys);
+    return op;
+  };
+}
+
+KvServiceConfig BaseConfig(const std::string& family) {
+  KvServiceConfig cfg;
+  cfg.lock_name = family;
+  cfg.num_procs = 4;
+  cfg.stripes = 16;
+  cfg.keys = 4096;
+  cfg.ops_per_proc = 150;
+  cfg.batch_ops = 1;
+  cfg.seed = 11;
+  cfg.draw = AllTxnDraw(cfg.stripes, cfg.keys);
+  return cfg;
+}
+
+// The invariants every run must satisfy regardless of where kills
+// landed. Conservation/integrity are asserted only when the run says
+// its audits are binding (no abandoned pid, no admissible weak-family
+// overlap that could excuse a mismatch); strong families with clean
+// reaps are always binding.
+void ExpectClean(const KvServiceResult& r, const KvServiceConfig& cfg) {
+  EXPECT_EQ(r.me_violations, 0u);
+  EXPECT_EQ(r.bcsr_violations, 0u);
+  EXPECT_EQ(r.phantom_crash_notes, 0u);
+  EXPECT_FALSE(r.log_overflow);
+  EXPECT_EQ(r.hung_abandoned, 0u);
+  EXPECT_FALSE(r.watchdog_fired);
+  EXPECT_EQ(r.child_errors, 0u);
+  EXPECT_EQ(r.starved_pids, 0u);
+  // ops_done counts key-operations (a k-key transaction is k of them),
+  // and a pid's last draw may overshoot its quota by one batch of
+  // full-width transactions — bounded, never short.
+  const uint64_t quota =
+      static_cast<uint64_t>(cfg.num_procs) * cfg.ops_per_proc;
+  const uint64_t slack = static_cast<uint64_t>(cfg.num_procs) *
+                         static_cast<uint64_t>(std::max(cfg.batch_ops, 1)) *
+                         kKvMaxTxnKeys;
+  EXPECT_GE(r.ops_done, quota);
+  EXPECT_LE(r.ops_done, quota + slack);
+  if (r.audits_binding) {
+    EXPECT_EQ(r.conservation_delta, 0u);
+    EXPECT_EQ(r.put_integrity_mismatches, 0u);
+  }
+}
+
+// Victim dies holding exactly k stripe locks, for every k the redo
+// record can express. Each k gets two kills (die, respawn, die again at
+// the same rung) on a strongly recoverable family, so the audits are
+// binding: the transaction in flight at each kill must have been
+// released-or-completed with not a single unit of balance lost.
+TEST(KvServiceCrash, ReleaseOrCompleteAtEveryHeldCount) {
+  for (int k = 1; k <= kKvMaxTxnKeys; ++k) {
+    KvServiceConfig cfg = BaseConfig("cw-ticket");
+    cfg.site_kill_site = "kv.hold" + std::to_string(k);
+    cfg.site_kill_pid = 1;
+    cfg.site_kill_nth = 3;
+    cfg.site_kill_count = 2;
+    cfg.seed = 100 + static_cast<uint64_t>(k);
+    const KvServiceResult r = RunKvService(cfg);
+    SCOPED_TRACE("held=" + std::to_string(k));
+    ExpectClean(r, cfg);
+    EXPECT_TRUE(r.audits_binding);
+    EXPECT_GE(r.kills, cfg.site_kill_count);
+    EXPECT_GE(r.max_incarnations, 2u);
+  }
+}
+
+// The apply-side windows: die after staging but before publishing
+// ("kv.txn.stage" — recovery must re-stage and publish), die
+// mid-publish with some balances blind-stored and some not
+// ("kv.txn.pub" — recovery must finish the publish idempotently), and
+// die inside the lock handoff after the CS work is logged complete
+// ("kv.exit.brk" — recovery must heal the queue without replaying).
+TEST(KvServiceCrash, MidApplyAndExitWindows) {
+  for (const char* site : {"kv.txn.stage", "kv.txn.pub", "kv.exit.brk"}) {
+    KvServiceConfig cfg = BaseConfig("cw-ticket");
+    cfg.site_kill_site = site;
+    cfg.site_kill_pid = 2;
+    cfg.site_kill_nth = 4;
+    cfg.site_kill_count = 2;
+    cfg.seed = 31;
+    const KvServiceResult r = RunKvService(cfg);
+    SCOPED_TRACE(site);
+    ExpectClean(r, cfg);
+    EXPECT_TRUE(r.audits_binding);
+    EXPECT_GE(r.kills, cfg.site_kill_count);
+  }
+}
+
+// The fork_harness kill regimes against a weak family: independent
+// kills, a system-wide batch event, a recovery storm on one victim, and
+// a per-op self-kill coin. wr admits bounded enter/exit overlaps, so
+// ME/BCSR verdicts must separate admissible overlaps from violations;
+// the money audits apply only when the run reports them binding.
+TEST(KvServiceCrash, KillRegimesOnWeakFamily) {
+  KvServiceConfig cfg = BaseConfig("wr");
+  cfg.ops_per_proc = 2000;  // long enough for every scheduled kill to land
+  cfg.independent_kills = 8;
+  cfg.batch_kill_events = 2;
+  cfg.batch_size = 2;
+  cfg.kill_interval_ms = 0.2;
+  cfg.storm_victim = 1;
+  cfg.storm_kills = 2;
+  cfg.self_kill_per_op = 0.001;
+  cfg.self_kill_budget = 5;
+  cfg.seed = 47;
+  const KvServiceResult r = RunKvService(cfg);
+  ExpectClean(r, cfg);
+  EXPECT_GE(r.kills, cfg.independent_kills);
+}
+
+// Kills against the EnterMany batched path: grouped single-key ops run
+// as one passage, and a kill can land between the group's redo publish
+// and its exit. The respawn must replay the whole group blind-store
+// idempotently — put integrity catches a half-applied group.
+TEST(KvServiceCrash, BatchedPassagesSurviveKills) {
+  KvServiceConfig cfg = BaseConfig("cw-ticket");
+  cfg.draw = MixedDraw(cfg.stripes, cfg.keys);
+  cfg.batch_ops = 8;
+  cfg.ops_per_proc = 3000;  // long enough for every scheduled kill to land
+  cfg.independent_kills = 6;
+  cfg.kill_interval_ms = 0.2;
+  cfg.seed = 53;
+  const KvServiceResult r = RunKvService(cfg);
+  ExpectClean(r, cfg);
+  EXPECT_TRUE(r.audits_binding);
+  EXPECT_GT(r.batched_passages, 0u);
+  EXPECT_GE(r.kills, cfg.independent_kills);
+}
+
+}  // namespace
+}  // namespace rme

@@ -1,0 +1,187 @@
+// Pins the shared KV workload generators (bench/bench_common.hpp) and
+// the striped-table/EnterMany plumbing they feed:
+//
+//   - ZipfianKeys is a pure function of (n, theta, caller's Prng): the
+//     seed-for-seed identity the bench header promises, the theta = 0
+//     uniform fast path, and the YCSB skew shape (low ranks hot);
+//   - DrawKvOp honors the op mix and never emits a transaction with
+//     duplicate keys (the redo record indexes cells by key, so a dup
+//     would double-apply one cell's delta);
+//   - MakeKvDraw closures capture by value — two closures fed same-seed
+//     Prngs replay identical streams, which is what makes the fork
+//     service's per-incarnation redraws reproducible;
+//   - EnterMany/ExitMany run a clean passage on EVERY registry family,
+//     opted-in or not (the fallback path is Enter/Exit), and the
+//     batching families actually advertise SupportsEnterMany;
+//   - StripedTable publishes every stripe Ready with a live lock, and
+//     StripeOf is exactly StripeHash masked onto the stripe space.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/lock_registry.hpp"
+#include "locks/lock.hpp"
+#include "rmr/counters.hpp"
+#include "runtime/kv_service.hpp"
+#include "runtime/striped_table.hpp"
+#include "shm/shm_segment.hpp"
+#include "util/prng.hpp"
+
+namespace rme {
+namespace {
+
+using bench::DrawKvOp;
+using bench::KvOpMix;
+using bench::MakeKvDraw;
+using bench::ZipfianKeys;
+
+TEST(ZipfianKeys, SeedForSeedIdentity) {
+  const ZipfianKeys keys(10000, 0.99);
+  Prng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t ka = keys.Next(a);
+    EXPECT_EQ(ka, keys.Next(b));
+    EXPECT_LT(ka, 10000u);
+    diverged = diverged || (ka != keys.Next(c));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(ZipfianKeys, ThetaZeroIsTheUniformFastPath) {
+  // theta = 0 must bypass the Zipf inversion entirely and consume
+  // exactly one NextBounded per draw — byte-for-byte the stream a
+  // caller would get from the Prng directly.
+  const ZipfianKeys keys(4096, 0.0);
+  Prng a(7), b(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(keys.Next(a), b.NextBounded(4096));
+  }
+}
+
+TEST(ZipfianKeys, SkewConcentratesOnLowRanks) {
+  const uint64_t n = 10000;
+  const ZipfianKeys hot(n, 0.99), flat(n, 0.0);
+  Prng rng(123);
+  const int draws = 40000;
+  std::vector<uint32_t> counts(n, 0);
+  uint64_t hot_top = 0, flat_top = 0;
+  for (int i = 0; i < draws; ++i) {
+    const uint64_t k = hot.Next(rng);
+    ++counts[k];
+    if (k < n / 100) ++hot_top;
+    if (flat.Next(rng) < n / 100) ++flat_top;
+  }
+  // Rank 0 is the hottest key, and the top 1% of ranks soak up the
+  // majority of Zipf(0.99) draws while staying ~1% under uniform.
+  for (uint64_t k = 1; k < n; ++k) EXPECT_LE(counts[k], counts[0]);
+  EXPECT_GT(hot_top, static_cast<uint64_t>(draws) / 2);
+  EXPECT_LT(flat_top, static_cast<uint64_t>(draws) / 20);
+}
+
+TEST(DrawKvOp, HonorsMixAndNeverDuplicatesTxnKeys) {
+  const ZipfianKeys keys(8192, 0.99);
+  KvOpMix mix;
+  mix.read_frac = 0.70;
+  mix.put_frac = 0.20;
+  mix.txn_keys = 3;
+  Prng rng(9);
+  const int draws = 20000;
+  int reads = 0, puts = 0, txns = 0;
+  for (int i = 0; i < draws; ++i) {
+    const KvOp op = DrawKvOp(rng, keys, mix);
+    switch (op.kind) {
+      case KvOp::kRead: ++reads; break;
+      case KvOp::kPut: ++puts; break;
+      case KvOp::kTxn: ++txns; break;
+    }
+    const int nkeys = op.kind == KvOp::kTxn ? op.nkeys : 1;
+    ASSERT_GE(nkeys, 1);
+    ASSERT_LE(nkeys, kKvMaxTxnKeys);
+    for (int a = 0; a < nkeys; ++a) {
+      EXPECT_LT(op.keys[a], 8192u);
+      for (int b = a + 1; b < nkeys; ++b) EXPECT_NE(op.keys[a], op.keys[b]);
+    }
+    if (op.kind == KvOp::kTxn) {
+      EXPECT_EQ(op.nkeys, 3);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / draws, 0.70, 0.02);
+  EXPECT_NEAR(static_cast<double>(puts) / draws, 0.20, 0.02);
+  EXPECT_NEAR(static_cast<double>(txns) / draws, 0.10, 0.02);
+}
+
+TEST(MakeKvDraw, ClosureIsAPureFunctionOfTheSeed) {
+  const ZipfianKeys keys(4096, 0.5);
+  const KvOpMix mix;
+  const KvDrawFn f = MakeKvDraw(keys, mix);
+  const KvDrawFn g = MakeKvDraw(keys, mix);
+  Prng a(1000), b(1000);
+  for (int i = 0; i < 500; ++i) {
+    const KvOp x = f(0, a);
+    const KvOp y = g(3, b);  // pid must not perturb the stream
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.nkeys, y.nkeys);
+    for (int j = 0; j < x.nkeys; ++j) EXPECT_EQ(x.keys[j], y.keys[j]);
+  }
+}
+
+TEST(EnterMany, CleanPassageOnEveryFamilyOptedInOrNot) {
+  int opted_in = 0;
+  for (const std::string& name : RecoverableLockNames()) {
+    SCOPED_TRACE(name);
+    auto lock = MakeLock(name, 4);
+    ProcessBinding bind(0, nullptr);
+    if (lock->SupportsEnterMany()) ++opted_in;
+    for (int i = 0; i < 3; ++i) {
+      lock->Recover(0);
+      lock->EnterMany(0, 4);  // fallback = Enter on default families
+      lock->ExitMany(0);
+      lock->Recover(0);
+      lock->Enter(0);
+      lock->Exit(0);
+    }
+    lock->OnProcessDone(0);
+  }
+  // The batching families of the KV leaderboard all advertise it.
+  EXPECT_GE(opted_in, 6);
+}
+
+TEST(StripedTable, PublishesEveryStripeReadyWithALiveLock) {
+  shm::Segment seg(64u << 20);
+  StripedTable* table = StripedTable::Create(seg, "wr", 64, 4);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->stripe_count(), 64u);
+  EXPECT_EQ(table->ReadyEntries(), 64u);
+  for (uint32_t s = 0; s < 64; ++s) {
+    EXPECT_NE(table->LockAt(s), nullptr);
+    EXPECT_EQ(table->EntryAt(s).owner.load(), 0u);
+    EXPECT_EQ(table->EntryAt(s).acquisitions.load(), 0u);
+  }
+}
+
+TEST(StripedTable, StripeOfIsTheMaskedStaticHash) {
+  shm::Segment seg(256u << 20);
+  StripedTable* table = StripedTable::Create(seg, "wr", 256, 2);
+  Prng rng(5);
+  std::vector<uint32_t> hits(256, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t key = rng.Next();
+    const uint32_t s = table->StripeOf(key);
+    EXPECT_LT(s, 256u);
+    EXPECT_EQ(s, StripedTable::StripeHash(key) & 255u);
+    ++hits[s];
+  }
+  // SplitMix64 finalizer: no stripe should be starved or wildly hot
+  // (expected ~390 hits each; 4x bounds are many sigma out).
+  for (uint32_t s = 0; s < 256; ++s) {
+    EXPECT_GT(hits[s], 100u);
+    EXPECT_LT(hits[s], 1600u);
+  }
+}
+
+}  // namespace
+}  // namespace rme

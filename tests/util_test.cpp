@@ -186,6 +186,96 @@ TEST(Table, ShortRowsPadded) {
   EXPECT_EQ(t.ToCsv(), "a,b\nonly,\n");
 }
 
+TEST(PercentilesMerge, ExactConcatWhenEverythingFits) {
+  // Neither side ever subsampled and the union fits: Merge must be a
+  // lossless concatenation — every quantile exact.
+  Percentiles a(1000, 1), b(1000, 2);
+  for (int i = 1; i <= 100; ++i) a.Add(i);
+  for (int i = 101; i <= 200; ++i) b.Add(i);
+  a.Merge(b);
+  a.Finalize();
+  EXPECT_EQ(a.observed(), 200u);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_NEAR(a.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(a.Quantile(0.5), 100.5, 1.0);
+  EXPECT_NEAR(a.Quantile(1.0), 200.0, 1e-9);
+}
+
+TEST(PercentilesMerge, WeightsSidesByStreamSizeNotReservoirSize) {
+  // Side A saw 90k samples of value ~0, side B saw 10k of value ~1000,
+  // both through equal-capacity reservoirs. A correct weighted merge
+  // yields ~10% high values — q50 low, q95 high; a naive 50/50 draw
+  // would put q50 near the midpoint.
+  Percentiles a(512, 3), b(512, 4);
+  Prng rng(99);
+  for (int i = 0; i < 90000; ++i) a.Add(rng.NextDouble());
+  for (int i = 0; i < 10000; ++i) b.Add(1000.0 + rng.NextDouble());
+  a.Merge(b);
+  a.Finalize();
+  EXPECT_EQ(a.observed(), 100000u);
+  EXPECT_EQ(a.size(), 512u);
+  EXPECT_LT(a.Quantile(0.5), 2.0);
+  EXPECT_LT(a.Quantile(0.85), 2.0);
+  EXPECT_GT(a.Quantile(0.95), 999.0);
+}
+
+TEST(PercentilesMerge, TracksPooledQuantilesAcrossManySources) {
+  // The kv-service shape: N per-process reservoirs over the same latency
+  // distribution folded into one. Pooled quantiles must match the
+  // underlying stream within reservoir error.
+  Percentiles merged(8 * 512, 5);
+  Prng rng(7);
+  for (int src = 0; src < 8; ++src) {
+    Percentiles part(512, 100 + static_cast<uint64_t>(src));
+    for (int i = 0; i < 20000; ++i) {
+      part.Add(static_cast<double>(rng.NextBounded(100000)));
+    }
+    merged.Merge(part);
+  }
+  merged.Finalize();
+  EXPECT_EQ(merged.observed(), 160000u);
+  EXPECT_NEAR(merged.Quantile(0.5), 50000.0, 5000.0);
+  EXPECT_NEAR(merged.Quantile(0.9), 90000.0, 5000.0);
+}
+
+TEST(PercentilesMerge, DeterministicForAGivenSeed) {
+  auto build = [] {
+    Percentiles out(256, 42);
+    for (uint64_t src = 0; src < 4; ++src) {
+      Percentiles part(256, src);
+      Prng rng(1234 + src);
+      for (int i = 0; i < 5000; ++i) part.Add(rng.NextDouble() * 1e6);
+      out.Merge(part);
+    }
+    out.Finalize();
+    return out;
+  };
+  Percentiles a = build(), b = build();
+  ASSERT_EQ(a.size(), b.size());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), b.Quantile(q));
+  }
+}
+
+TEST(PercentilesMerge, MergeRawMatchesMergeAndHandlesSubsampledSides) {
+  // MergeRaw is the shared-memory entry point (parent folding per-pid
+  // segment reservoirs): same semantics as Merge on the same data.
+  Percentiles via_merge(128, 9), via_raw(128, 9);
+  Percentiles side(64, 11);
+  for (int i = 0; i < 10000; ++i) side.Add(static_cast<double>(i % 97));
+  std::vector<double> raw;
+  for (size_t i = 0; i < side.size(); ++i) raw.push_back(side.sample(i));
+  via_merge.Merge(side);
+  via_raw.MergeRaw(raw.data(), raw.size(), side.observed());
+  via_merge.Finalize();
+  via_raw.Finalize();
+  ASSERT_EQ(via_merge.size(), via_raw.size());
+  EXPECT_EQ(via_merge.observed(), via_raw.observed());
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(via_merge.Quantile(q), via_raw.Quantile(q));
+  }
+}
+
 TEST(Cli, ParsesTypes) {
   const char* argv[] = {"prog", "--n=8", "--p=0.5", "--flag", "--name=x"};
   Cli cli(5, const_cast<char**>(argv));

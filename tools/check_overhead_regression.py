@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gates for the CI perf-smoke job.
 
-Two modes, selected with --mode:
+Three modes, selected with --mode:
 
 overhead (default)
   Compares a fresh bench_instr_overhead run (raw google-benchmark JSON
@@ -26,9 +26,22 @@ throughput
       least --cpu-ratio-floor (parking must actually save CPU time in
       the threads >> cores regime).
 
+kv
+  Compares a fresh `bench_kv_service --json_out` run against the
+  committed BENCH_kv_service.json snapshot. Two kinds of gate:
+    * absolute acceptance on the fresh run itself — zero kill-regime
+      violations, and the EnterMany batched aggregate must beat the
+      unbatched path (the ISSUE-9 acceptance criteria, so they cannot
+      ratchet away);
+    * snapshot-relative — for every (family, stripe-count) cell present
+      in BOTH documents, fresh batched ops/s must not drop more than
+      --tolerance below the snapshot. The smoke run covers a subset of
+      the committed leaderboard; only common cells are compared, so the
+      CI job can run a bounded matrix against the full snapshot.
+
 Usage:
   check_overhead_regression.py fresh.json \
-      [--mode overhead|throughput] [--snapshot FILE] [--tolerance 0.15]
+      [--mode overhead|throughput|kv] [--snapshot FILE] [--tolerance 0.15]
 """
 import argparse
 import json
@@ -110,10 +123,59 @@ def throughput_mode(args):
     return 0 if ok else 1
 
 
+def kv_mode(args):
+    fresh = json.load(open(args.fresh))
+    snap = json.load(open(args.snapshot or "BENCH_kv_service.json"))
+    ok = True
+
+    # Absolute acceptance gates on the fresh run.
+    violations = fresh.get("total_violations", -1)
+    good = violations == 0
+    ok = ok and good
+    print(f"{'OK' if good else 'FAIL'}: kill-regime violations = "
+          f"{violations} (must be 0)")
+
+    speedup = fresh["aggregate"]["batched_speedup"]
+    good = speedup > 1.0
+    ok = ok and good
+    print(f"{'OK' if good else 'FAIL'}: EnterMany batched speedup = "
+          f"{speedup:.3f}x (must beat 1.0x; batched "
+          f"{fresh['aggregate']['batched_ops_per_second']:,.0f} vs "
+          f"unbatched {fresh['aggregate']['unbatched_ops_per_second']:,.0f} "
+          f"ops/s)")
+
+    # Snapshot-relative throughput floors on every common leaderboard
+    # cell (the smoke run may cover a subset of the committed matrix).
+    compared = 0
+    for fam, fdoc in sorted(fresh.get("families", {}).items()):
+        sdoc = snap.get("families", {}).get(fam)
+        if not sdoc:
+            continue
+        for stripes, cells in sorted(fdoc["per_stripes"].items(),
+                                     key=lambda kv: int(kv[0])):
+            scells = sdoc["per_stripes"].get(stripes)
+            if not scells:
+                continue
+            f_ops = cells["batched"]["ops_per_second"]
+            s_ops = scells["batched"]["ops_per_second"]
+            floor = s_ops * (1.0 - args.tolerance)
+            good = f_ops >= floor
+            ok = ok and good
+            compared += 1
+            print(f"{'OK' if good else 'FAIL'}: {fam}@{stripes} stripes "
+                  f"batched ops/s = {f_ops:,.0f} (floor {floor:,.0f}; "
+                  f"snapshot {s_ops:,.0f}, -{args.tolerance:.0%})")
+    if compared == 0:
+        print("FAIL: fresh run and snapshot share no (family, stripes) cell")
+        ok = False
+
+    return 0 if ok else 1
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("fresh", help="fresh benchmark JSON to gate")
-    ap.add_argument("--mode", choices=("overhead", "throughput"),
+    ap.add_argument("--mode", choices=("overhead", "throughput", "kv"),
                     default="overhead")
     ap.add_argument("--snapshot", default=None,
                     help="committed snapshot (default depends on mode)")
@@ -130,6 +192,8 @@ def main():
 
     if args.mode == "throughput":
         return throughput_mode(args)
+    if args.mode == "kv":
+        return kv_mode(args)
     return overhead_mode(args)
 
 

@@ -109,3 +109,11 @@ echo "wrote BENCH_throughput.json"
   --interval_ms=0.5 --report=rmr \
   --json_out=BENCH_fork_rmr.json >/dev/null
 echo "wrote BENCH_fork_rmr.json"
+
+# Sharded KV service leaderboard: per-family batched/unbatched
+# throughput + p99/p999 at both stripe counts plus the kill-regime
+# verdicts. --gate makes the snapshot run fail right here if the kill
+# matrix reports violations or batching stops paying for itself.
+"$BUILD_DIR"/bench/bench_kv_service \
+  --json_out=BENCH_kv_service.json --gate >/dev/null
+echo "wrote BENCH_kv_service.json"
